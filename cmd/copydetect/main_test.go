@@ -1,0 +1,32 @@
+package main
+
+import (
+	"testing"
+
+	"copydetect"
+)
+
+func TestParseAlgo(t *testing.T) {
+	cases := []struct {
+		in   string
+		want copydetect.Algorithm
+	}{
+		{"pairwise", copydetect.AlgorithmPairwise},
+		{"index", copydetect.AlgorithmIndex},
+		{"bound", copydetect.AlgorithmBound},
+		{"bound+", copydetect.AlgorithmBoundPlus},
+		{"boundplus", copydetect.AlgorithmBoundPlus},
+		{"hybrid", copydetect.AlgorithmHybrid},
+		{"HYBRID", copydetect.AlgorithmHybrid},
+		{"incremental", copydetect.AlgorithmIncremental},
+	}
+	for _, c := range cases {
+		got, err := parseAlgo(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("parseAlgo(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+	}
+	if _, err := parseAlgo("nonsense"); err == nil {
+		t.Error("unknown algorithm should fail")
+	}
+}

@@ -1,0 +1,37 @@
+// Command experiments regenerates the tables and figures of "Scaling up
+// Copy Detection" (ICDE 2015) on synthetic stand-ins for its data sets.
+//
+// Usage:
+//
+//	experiments [-run all|motivating|table5|...|figure3] [-scale 0.2] [-seed 1]
+//
+// -scale 1 uses the paper's dataset sizes; the default 0.2 keeps the
+// slowest baseline (PAIRWISE on Book-full) tractable. See EXPERIMENTS.md
+// for recorded paper-vs-measured results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"copydetect/internal/experiments"
+)
+
+func main() {
+	runID := flag.String("run", "all", "experiment id: "+strings.Join(experiments.IDs(), ", ")+", or all")
+	scale := flag.Float64("scale", 0.2, "dataset scale factor (1 = paper sizes)")
+	seed := flag.Int64("seed", 1, "random seed for dataset generation and sampling")
+	flag.Parse()
+
+	if *scale <= 0 || *scale > 4 {
+		fmt.Fprintf(os.Stderr, "experiments: -scale %v out of (0, 4]\n", *scale)
+		os.Exit(2)
+	}
+	env := experiments.NewEnv(os.Stdout, *scale, *seed)
+	if err := env.Run(*runID); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,134 @@
+package copydetect
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDetectQuickstart(t *testing.T) {
+	ds, _ := MotivatingExample()
+	params := Params{Alpha: 0.1, S: 0.8, N: 50}
+	out := Detect(ds, AlgorithmHybrid, params)
+	if out.Rounds == 0 {
+		t.Fatal("no rounds executed")
+	}
+	if len(out.Copy.CopyingPairs()) < 6 {
+		t.Errorf("expected the two copier cliques (6 pairs), got %d", len(out.Copy.CopyingPairs()))
+	}
+	for d, want := range ds.Truth {
+		if out.Truth[d] != want {
+			t.Errorf("truth of %s wrong", ds.ItemNames[d])
+		}
+	}
+}
+
+func TestAlgorithmsAllConstructible(t *testing.T) {
+	p := DefaultParams()
+	algos := []Algorithm{
+		AlgorithmPairwise, AlgorithmIndex, AlgorithmBound,
+		AlgorithmBoundPlus, AlgorithmHybrid, AlgorithmIncremental,
+	}
+	wantNames := []string{"PAIRWISE", "INDEX", "BOUND", "BOUND+", "HYBRID", "INCREMENTAL"}
+	for i, a := range algos {
+		det := NewDetector(a, p, Options{})
+		if det.Name() != wantNames[i] {
+			t.Errorf("detector %v name = %q, want %q", a, det.Name(), wantNames[i])
+		}
+		if a.String() != wantNames[i] {
+			t.Errorf("Algorithm(%d).String() = %q", int(a), a.String())
+		}
+	}
+}
+
+func TestNewDetectorPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for unknown algorithm")
+		}
+	}()
+	NewDetector(Algorithm(99), DefaultParams(), Options{})
+}
+
+func TestBuilderRoundTripThroughAPI(t *testing.T) {
+	b := NewBuilder()
+	b.Add("A", "item1", "x")
+	b.Add("B", "item1", "x")
+	b.Add("A", "item2", "y")
+	b.SetTruth("item1", "x")
+	ds := b.Build()
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	ds2, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds2.NumSources() != 2 || ds2.NumItems() != 2 {
+		t.Errorf("round trip lost data: %s", Summarize(ds2))
+	}
+	var csvBuf bytes.Buffer
+	if err := WriteCSV(&csvBuf, ds); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCSV(strings.NewReader(csvBuf.String())); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateAndSampleThroughAPI(t *testing.T) {
+	cfg := ScaleConfig(Stock1DayConfig(3), 0.02)
+	ds, planted, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(planted.Pairs) == 0 {
+		t.Fatal("no planted pairs")
+	}
+	s := ScaleSample(ds, 0.2, 4, 1)
+	if s.Dataset.NumItems() == 0 {
+		t.Fatal("empty sample")
+	}
+	out := DetectSampled(ds, s, AlgorithmIncremental, DefaultParams())
+	if out.Rounds == 0 {
+		t.Fatal("sampled detection did not run")
+	}
+	full := Detect(ds, AlgorithmIndex, DefaultParams())
+	prf := ComparePairs(out.Copy, full.Copy)
+	if prf.F1 < 0 || prf.F1 > 1 {
+		t.Errorf("nonsense F1 %v", prf.F1)
+	}
+}
+
+func TestMetricsThroughAPI(t *testing.T) {
+	ds, _ := MotivatingExample()
+	out := Detect(ds, AlgorithmIndex, Params{Alpha: 0.1, S: 0.8, N: 50})
+	acc, gold := FusionAccuracy(ds, out.Truth)
+	if gold != 5 || acc != 1 {
+		t.Errorf("fusion accuracy %v on %d gold items, want 1.0 on 5", acc, gold)
+	}
+	if d := FusionDifference(out.Truth, out.Truth); d != 0 {
+		t.Errorf("self fusion difference %v", d)
+	}
+	if v := AccuracyVariance(out.State.A, out.State.A); v != 0 {
+		t.Errorf("self accuracy variance %v", v)
+	}
+}
+
+func TestConfigPresetsThroughAPI(t *testing.T) {
+	for _, cfg := range []GenConfig{
+		BookCSConfig(1), BookFullConfig(1), Stock1DayConfig(1), Stock2WkConfig(1),
+	} {
+		if cfg.NumSources == 0 || cfg.NumItems == 0 {
+			t.Errorf("preset %s empty", cfg.Name)
+		}
+		small := ScaleConfig(cfg, 0.01)
+		if small.NumItems == 0 {
+			t.Errorf("scaled %s empty", cfg.Name)
+		}
+	}
+}

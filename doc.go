@@ -1,0 +1,53 @@
+// Package copydetect is a scalable copy-detection library for structured
+// data, implementing "Scaling up Copy Detection" (Xian Li, Xin Luna Dong,
+// Kenneth B. Lyons, Weiyi Meng, Divesh Srivastava; ICDE 2015).
+//
+// # Problem
+//
+// Many Web sources provide values for the same data items (the closing
+// price of a stock, the author list of a book). Values conflict, and data
+// fusion must decide which value is true. Copying between sources breaks
+// the "popular values are probably true" heuristic: a false value can
+// spread through copiers and become the majority. Copy detection finds,
+// for every pair of sources, whether one copies from the other, so fusion
+// can discount copied votes — but the classic PAIRWISE detector examines
+// every shared data item of every source pair in every iteration, which
+// does not scale.
+//
+// # What this library provides
+//
+// The paper's full algorithm family, behind one Detector interface:
+//
+//   - Pairwise — the exhaustive baseline (Dong et al., VLDB 2009).
+//   - Index — a score-ordered inverted index over shared values; pairs
+//     sharing nothing (or only weak evidence) are pruned, with results
+//     provably identical to Pairwise.
+//   - Bound / BoundPlus — early termination from running upper/lower
+//     score bounds, with lazily recomputed bounds in BoundPlus.
+//   - Hybrid — Index for small-overlap pairs, BoundPlus for the rest.
+//   - Incremental — refines the previous round's decisions instead of
+//     re-detecting from scratch in the iterative process.
+//
+// plus the surrounding system: the ACCU truth finder with copier
+// discounting (TruthFinder), coverage-aware sampling (ScaleSample),
+// synthetic workload generators matching the paper's four datasets, a
+// Fagin-NRA baseline, and a harness regenerating every table and figure
+// of the paper's evaluation (cmd/experiments).
+//
+// # Quick start
+//
+//	b := copydetect.NewBuilder()
+//	b.Add("source-A", "NJ", "Trenton")
+//	b.Add("source-B", "NJ", "Atlantic")
+//	// ... more observations ...
+//	ds := b.Build()
+//
+//	out := copydetect.Detect(ds, copydetect.AlgorithmHybrid, copydetect.DefaultParams())
+//	for _, pr := range out.Copy.CopyingPairs() {
+//	    fmt.Println(ds.SourceNames[pr.S1], "copies", ds.SourceNames[pr.S2])
+//	}
+//	truth := out.Truth // most probable value per item
+//
+// See examples/ for runnable end-to-end programs and DESIGN.md for the
+// mapping from paper sections to packages.
+package copydetect

@@ -1,0 +1,126 @@
+package bayes
+
+import "math"
+
+// This file implements the two model extensions the paper's footnotes
+// defer to:
+//
+// Footnote 2 — the uniform-false-value assumption "can be relaxed to take
+// value distributions into account [Dong et al. VLDB 2009]": the *Dist
+// variants below accept a per-value popularity pop = Pr(a wrong source
+// provides exactly this value), replacing the uniform 1/n. Sharing a
+// popular wrong value (a common formatting variant, a stale feed) is much
+// weaker copying evidence than sharing an obscure one.
+//
+// Footnote 1 — "advanced techniques also consider coverage ... of data
+// items [Dong et al. VLDB 2010]": CoverageLLR scores how surprising the
+// observed item overlap of two sources is. A copier draws its items
+// mostly from the copied source, so overlap far above the independence
+// expectation is evidence for copying, and overlap at the independence
+// expectation is (mild) evidence against.
+
+// PrIndepSameDist is Eq. (3) with a value-specific false popularity pop
+// in place of the uniform 1/n. pop <= 0 selects the uniform model.
+func (p Params) PrIndepSameDist(pv, pop, a1, a2 float64) float64 {
+	if pop <= 0 {
+		pop = 1 / p.N
+	}
+	return pv*a1*a2 + (1-pv)*(1-a1)*(1-a2)*pop
+}
+
+// ContribSameDist is Eq. (6) under the value-distribution relaxation.
+func (p Params) ContribSameDist(pv, pop, a1, a2 float64) float64 {
+	ind := p.PrIndepSameDist(pv, pop, a1, a2)
+	if ind <= 0 {
+		return math.Inf(1)
+	}
+	return math.Log(1 - p.S + p.S*p.PrProvides(pv, a2)/ind)
+}
+
+// MaxEntryScoreDist is MaxEntryScore under the value-distribution
+// relaxation. The contribution stays a ratio of functions affine in each
+// accuracy, so the coordinate-wise-extremes argument still applies.
+func (p Params) MaxEntryScoreDist(pv, pop float64, accs []float64) float64 {
+	if pop <= 0 {
+		return p.MaxEntryScore(pv, accs)
+	}
+	if len(accs) < 2 {
+		return 0
+	}
+	i1, i2, j1, j2 := -1, -1, -1, -1
+	for i, a := range accs {
+		if i1 == -1 || a < accs[i1] {
+			i2 = i1
+			i1 = i
+		} else if i2 == -1 || a < accs[i2] {
+			i2 = i
+		}
+		if j1 == -1 || a > accs[j1] {
+			j2 = j1
+			j1 = i
+		} else if j2 == -1 || a > accs[j2] {
+			j2 = i
+		}
+	}
+	cand := [4]int{i1, i2, j1, j2}
+	best := math.Inf(-1)
+	for _, s1 := range cand {
+		for _, s2 := range cand {
+			if s1 == s2 {
+				continue
+			}
+			if c := p.ContribSameDist(pv, pop, accs[s1], accs[s2]); c > best {
+				best = c
+			}
+		}
+	}
+	return best
+}
+
+// DefaultCoverageCap bounds the coverage log-likelihood ratio so item-
+// selection evidence augments rather than overwhelms the per-value
+// evidence. With the default α = 0.1, θcp ≈ 2.08, so a full-weight capped
+// coverage score stays just below what could conclude copying on its own.
+const DefaultCoverageCap = 2.0
+
+// CoverageLLR returns the log-likelihood ratio of the observed item
+// overlap l between two sources with coverages cov1 and cov2 over
+// numItems items, under copying versus independence, clamped to ±cap
+// (cap <= 0 selects DefaultCoverageCap).
+//
+// Model: let covS = min(cov1, cov2) and q = max(cov1, cov2)/numItems.
+// Under independence each of the smaller source's items falls into the
+// larger source's coverage with probability q, so l ~ Binomial(covS, q);
+// under copying the copier picks a covered item with probability at least
+// q + s·(1−q) (it copies a fraction s of its items from the other
+// source). The LLR is l·ln(pc/q) + (covS−l)·ln((1−pc)/(1−q)).
+func (p Params) CoverageLLR(l, cov1, cov2, numItems int, cap float64) float64 {
+	if cap <= 0 {
+		cap = DefaultCoverageCap
+	}
+	if numItems == 0 || cov1 == 0 || cov2 == 0 {
+		return 0
+	}
+	covS := cov1
+	covL := cov2
+	if cov2 < cov1 {
+		covS, covL = cov2, cov1
+	}
+	q := float64(covL) / float64(numItems)
+	pc := q + p.S*(1-q)
+	if q >= 1 || pc >= 1 {
+		// The larger source covers everything: overlap carries no signal.
+		return 0
+	}
+	if q <= 0 {
+		return 0
+	}
+	llr := float64(l)*math.Log(pc/q) + float64(covS-l)*math.Log((1-pc)/(1-q))
+	if llr > cap {
+		return cap
+	}
+	if llr < -cap {
+		return -cap
+	}
+	return llr
+}

@@ -1,0 +1,136 @@
+package bayes
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestContribSameDistUniformFallback: pop = 0 must reproduce the uniform
+// model exactly.
+func TestContribSameDistUniformFallback(t *testing.T) {
+	p := DefaultParams()
+	for _, pv := range []float64{0.01, 0.3, 0.9} {
+		uni := p.ContribSame(pv, 0.6, 0.7)
+		dist := p.ContribSameDist(pv, 0, 0.6, 0.7)
+		if math.Abs(uni-dist) > 1e-12 {
+			t.Errorf("pop=0 should match uniform: %v vs %v", uni, dist)
+		}
+		same := p.ContribSameDist(pv, 1/p.N, 0.6, 0.7)
+		if math.Abs(uni-same) > 1e-12 {
+			t.Errorf("pop=1/n should match uniform: %v vs %v", uni, same)
+		}
+	}
+}
+
+// TestContribSameDistPopularityDamps: sharing a popular wrong value is
+// weaker evidence than sharing an obscure one (footnote 2).
+func TestContribSameDistPopularityDamps(t *testing.T) {
+	p := DefaultParams()
+	pv := 0.05
+	obscure := p.ContribSameDist(pv, 0.001, 0.5, 0.5)
+	uniform := p.ContribSameDist(pv, 1/p.N, 0.5, 0.5)
+	popular := p.ContribSameDist(pv, 0.5, 0.5, 0.5)
+	if !(obscure > uniform && uniform > popular) {
+		t.Errorf("want obscure > uniform > popular, got %.3f %.3f %.3f", obscure, uniform, popular)
+	}
+	if popular < 0 {
+		t.Errorf("sharing a value is never negative evidence, got %.3f", popular)
+	}
+}
+
+// TestMaxEntryScoreDistMatchesBruteForce: the coordinate-wise-extremes
+// argument must hold under the relaxation too.
+func TestMaxEntryScoreDistMatchesBruteForce(t *testing.T) {
+	p := DefaultParams()
+	brute := func(pv, pop float64, accs []float64) float64 {
+		best := math.Inf(-1)
+		for i := range accs {
+			for j := range accs {
+				if i == j {
+					continue
+				}
+				if c := p.ContribSameDist(pv, pop, accs[i], accs[j]); c > best {
+					best = c
+				}
+			}
+		}
+		return best
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(8)
+		accs := make([]float64, n)
+		for i := range accs {
+			accs[i] = 0.01 + 0.98*r.Float64()
+		}
+		pv := r.Float64()
+		pop := r.Float64()
+		return math.Abs(p.MaxEntryScoreDist(pv, pop, accs)-brute(pv, pop, accs)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCoverageLLRDirections: overlap far above the independence
+// expectation is positive evidence; overlap at the expectation is
+// negative (a copier would overlap more).
+func TestCoverageLLRDirections(t *testing.T) {
+	p := DefaultParams()
+	const items = 10000
+	// Two low-coverage sources (1% each): independent expectation is ~1
+	// shared item out of 100.
+	if llr := p.CoverageLLR(90, 100, 100, items, 0); llr <= 0 {
+		t.Errorf("90%% overlap of 1%%-coverage sources should be positive evidence, got %v", llr)
+	}
+	if llr := p.CoverageLLR(1, 100, 100, items, 0); llr >= 0 {
+		t.Errorf("independence-level overlap should be negative evidence, got %v", llr)
+	}
+	// Caps.
+	if llr := p.CoverageLLR(100, 100, 100, items, 0); llr != DefaultCoverageCap {
+		t.Errorf("LLR should cap at %v, got %v", DefaultCoverageCap, llr)
+	}
+	if llr := p.CoverageLLR(0, 5000, 5000, items, 2.5); llr != -2.5 {
+		t.Errorf("LLR should cap at -2.5, got %v", llr)
+	}
+}
+
+// TestCoverageLLRDegenerate: full coverage or empty sources carry no
+// overlap signal.
+func TestCoverageLLRDegenerate(t *testing.T) {
+	p := DefaultParams()
+	if llr := p.CoverageLLR(500, 500, 10000, 10000, 0); llr != 0 {
+		t.Errorf("full-coverage partner should give 0, got %v", llr)
+	}
+	if llr := p.CoverageLLR(0, 0, 100, 1000, 0); llr != 0 {
+		t.Errorf("empty source should give 0, got %v", llr)
+	}
+	if llr := p.CoverageLLR(0, 10, 10, 0, 0); llr != 0 {
+		t.Errorf("no items should give 0, got %v", llr)
+	}
+}
+
+// TestCoverageLLRSymmetric: the LLR is symmetric in the two sources.
+func TestCoverageLLRSymmetric(t *testing.T) {
+	p := DefaultParams()
+	a := p.CoverageLLR(50, 100, 800, 10000, 0)
+	b := p.CoverageLLR(50, 800, 100, 10000, 0)
+	if a != b {
+		t.Errorf("LLR not symmetric: %v vs %v", a, b)
+	}
+}
+
+// TestCoverageLLRMonotoneInOverlap: more overlap, more evidence.
+func TestCoverageLLRMonotoneInOverlap(t *testing.T) {
+	p := DefaultParams()
+	prev := math.Inf(-1)
+	for l := 0; l <= 100; l += 10 {
+		llr := p.CoverageLLR(l, 100, 300, 10000, 1e9) // effectively uncapped
+		if llr < prev {
+			t.Fatalf("LLR not monotone at l=%d: %v < %v", l, llr, prev)
+		}
+		prev = llr
+	}
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"copydetect/internal/bayes"
+	"copydetect/internal/dataset"
+)
+
+// TestExtensionsIndexStillEqualsPairwise: Proposition 3.5's equivalence
+// must survive both model extensions, since INDEX and PAIRWISE use the
+// same formulas.
+func TestExtensionsIndexStillEqualsPairwise(t *testing.T) {
+	p := bayes.DefaultParams()
+	p.CoverageWeight = 1
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ds, st := randomInstance(rng, 4+rng.Intn(8), 10+rng.Intn(40))
+		st.Pop = dataset.ValuePopularities(ds)
+		ires := (&Index{Params: p}).DetectRound(ds, st, 1)
+		pres := (&Pairwise{Params: p}).DetectRound(ds, st, 1)
+		iset, pset := ires.CopyingSet(), pres.CopyingSet()
+		if len(iset) != len(pset) {
+			t.Fatalf("seed %d: copying sets differ in size: %d vs %d", seed, len(iset), len(pset))
+		}
+		for k := range iset {
+			if !pset[k] {
+				t.Fatalf("seed %d: INDEX and PAIRWISE disagree under extensions", seed)
+			}
+		}
+	}
+}
+
+// TestExtensionsScoresMatch: per-pair scores agree between INDEX and
+// PAIRWISE with extensions enabled.
+func TestExtensionsScoresMatch(t *testing.T) {
+	p := bayes.DefaultParams()
+	p.CoverageWeight = 0.5
+	p.CoverageCap = 3
+	rng := rand.New(rand.NewSource(7))
+	ds, st := randomInstance(rng, 8, 40)
+	st.Pop = dataset.ValuePopularities(ds)
+	ires := (&Index{Params: p}).DetectRound(ds, st, 1)
+	pres := (&Pairwise{Params: p}).DetectRound(ds, st, 1)
+	pmap := make(map[int64]PairResult)
+	for _, pr := range pres.Pairs {
+		pmap[int64(pr.S1)<<32|int64(uint32(pr.S2))] = pr
+	}
+	for _, ip := range ires.Pairs {
+		pp, ok := pmap[int64(ip.S1)<<32|int64(uint32(ip.S2))]
+		if !ok {
+			t.Fatalf("pair (S%d,S%d) missing from PAIRWISE", ip.S1, ip.S2)
+		}
+		if abs(ip.CTo-pp.CTo) > 1e-9 || abs(ip.CFrom-pp.CFrom) > 1e-9 {
+			t.Errorf("scores of (S%d,S%d) differ: %.6f vs %.6f", ip.S1, ip.S2, ip.CTo, pp.CTo)
+		}
+	}
+}
+
+// TestValueDistDampsPopularFalseValue: two mediocre sources agreeing on a
+// value everyone else also provides should look much less suspicious
+// under the footnote-2 relaxation.
+func TestValueDistDampsPopularFalseValue(t *testing.T) {
+	ds, st := motivatingState(t)
+	p := exampleParams()
+	base := (&Pairwise{Params: p}).DetectRound(ds, st, 1)
+
+	st2 := st.Clone()
+	st2.Pop = dataset.ValuePopularities(ds)
+	damped := (&Pairwise{Params: p}).DetectRound(ds, st2, 1)
+
+	// The copier clique (S2,S3) shares NJ.Atlantic, NY.NewYork, FL.Miami —
+	// values provided by 2-3 of 9-10 providers, so their empirical
+	// popularity exceeds 1/50 and the evidence weakens, but remains
+	// decisive for this blatant clique.
+	b := findPair(t, base, 2, 3)
+	d := findPair(t, damped, 2, 3)
+	if d.CTo >= b.CTo {
+		t.Errorf("popularity damping should reduce C→(S2,S3): %.3f -> %.3f", b.CTo, d.CTo)
+	}
+	if !d.Copying {
+		t.Errorf("the S2/S3 clique should still be detected under the relaxation")
+	}
+}
+
+// TestCoverageWeightSharpensSubsetCopier: with coverage evidence enabled,
+// a pair whose overlap hugely exceeds the independence expectation gains
+// score, and a pair overlapping at chance level loses score.
+func TestCoverageWeightSharpensSubsetCopier(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ds, st := randomInstance(rng, 6, 50)
+	p := bayes.DefaultParams()
+	base := (&Pairwise{Params: p}).DetectRound(ds, st, 1)
+	p.CoverageWeight = 1
+	cov := (&Pairwise{Params: p}).DetectRound(ds, st, 1)
+	if len(base.Pairs) != len(cov.Pairs) {
+		t.Fatal("pair counts changed")
+	}
+	changed := 0
+	for i := range base.Pairs {
+		if abs(base.Pairs[i].CTo-cov.Pairs[i].CTo) > 1e-9 {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Error("coverage weight had no effect on any pair")
+	}
+}
+
+// TestIncrementalWithExtensions: the incremental detector must agree with
+// HYBRID under both extensions across a multi-round state sequence with
+// small drifts (the regime Section V targets).
+func TestIncrementalWithExtensions(t *testing.T) {
+	ds, st := motivatingState(t)
+	p := exampleParams()
+	p.CoverageWeight = 0.5
+	st.Pop = dataset.ValuePopularities(ds)
+
+	hyb := &Hybrid{Params: p}
+	inc := &Incremental{Params: p}
+	rng := rand.New(rand.NewSource(9))
+	cur := st
+	for round := 1; round <= 6; round++ {
+		hres := hyb.DetectRound(ds, cur, round)
+		ires := inc.DetectRound(ds, cur, round)
+		hset, iset := hres.CopyingSet(), ires.CopyingSet()
+		for k := range hset {
+			if !iset[k] {
+				t.Errorf("round %d: incremental missed a copying pair under extensions", round)
+			}
+		}
+		for k := range iset {
+			if !hset[k] {
+				t.Errorf("round %d: incremental found a spurious pair under extensions", round)
+			}
+		}
+		// Drift the state slightly, as converging truth finding would.
+		next := cur.Clone()
+		for d := range next.P {
+			for v := range next.P[d] {
+				next.P[d][v] = clamp01(next.P[d][v] + 0.01*(rng.Float64()-0.5))
+			}
+		}
+		for s := range next.A {
+			next.A[s] = clampRange(next.A[s]+0.005*(rng.Float64()-0.5), 0.01, 0.99)
+		}
+		cur = next
+	}
+}
+
+func clamp01(x float64) float64 { return clampRange(x, 0.001, 0.999) }
+
+func clampRange(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

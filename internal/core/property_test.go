@@ -1,0 +1,254 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"copydetect/internal/bayes"
+	"copydetect/internal/dataset"
+)
+
+// randomInstance builds a random dataset plus a random-but-valid
+// statistical state for property tests.
+func randomInstance(rng *rand.Rand, ns, ni int) (*dataset.Dataset, *bayes.State) {
+	b := dataset.NewBuilder()
+	itemNames := make([]string, ni)
+	for d := 0; d < ni; d++ {
+		itemNames[d] = "D" + itoa(d)
+		b.Item(itemNames[d])
+	}
+	for s := 0; s < ns; s++ {
+		name := "S" + itoa(s)
+		b.Source(name)
+		cov := 0.2 + 0.8*rng.Float64()
+		for d := 0; d < ni; d++ {
+			if rng.Float64() < cov {
+				b.Add(name, itemNames[d], "v"+itoa(rng.Intn(4)))
+			}
+		}
+	}
+	ds := b.Build()
+	valueCounts := make([]int, ds.NumItems())
+	for d := range valueCounts {
+		valueCounts[d] = ds.NumValues(dataset.ItemID(d))
+	}
+	st := bayes.NewState(valueCounts, ds.NumSources(), 0.8)
+	for s := range st.A {
+		st.A[s] = 0.05 + 0.9*rng.Float64()
+	}
+	for d := range st.P {
+		for v := range st.P[d] {
+			st.P[d][v] = 0.01 + 0.98*rng.Float64()
+		}
+	}
+	return ds, st
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// TestPropertyIndexEqualsPairwise is Proposition 3.5 as a property test:
+// INDEX obtains the same binary results as PAIRWISE on arbitrary data.
+func TestPropertyIndexEqualsPairwise(t *testing.T) {
+	p := bayes.DefaultParams()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ds, st := randomInstance(rng, 4+rng.Intn(10), 8+rng.Intn(40))
+		ires := (&Index{Params: p}).DetectRound(ds, st, 1)
+		pres := (&Pairwise{Params: p}).DetectRound(ds, st, 1)
+		ia, pa := ires.CopyingSet(), pres.CopyingSet()
+		if len(ia) != len(pa) {
+			return false
+		}
+		for k := range ia {
+			if !pa[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyIndexScoresExact: for every pair INDEX instantiates, its
+// scores equal PAIRWISE's exactly (the index never loses evidence).
+func TestPropertyIndexScoresExact(t *testing.T) {
+	p := bayes.DefaultParams()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ds, st := randomInstance(rng, 4+rng.Intn(8), 8+rng.Intn(30))
+		ires := (&Index{Params: p}).DetectRound(ds, st, 1)
+		pres := (&Pairwise{Params: p}).DetectRound(ds, st, 1)
+		pmap := make(map[int64]PairResult, len(pres.Pairs))
+		for _, pr := range pres.Pairs {
+			pmap[int64(pr.S1)<<32|int64(uint32(pr.S2))] = pr
+		}
+		for _, ip := range ires.Pairs {
+			pp, ok := pmap[int64(ip.S1)<<32|int64(uint32(ip.S2))]
+			if !ok {
+				return false
+			}
+			if abs(ip.CTo-pp.CTo) > 1e-9 || abs(ip.CFrom-pp.CFrom) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// TestPropertyBoundSoundness: BOUND's early decisions must agree with the
+// exact INDEX decisions whenever the h estimate is exact or conservative.
+// BOUND is allowed to differ slightly (the paper observes it "rarely"
+// does), so this asserts a high agreement rate rather than equality, and
+// additionally asserts that copying decisions driven by Cmin — which is
+// always sound — never contradict INDEX.
+func TestPropertyBoundSoundness(t *testing.T) {
+	p := bayes.DefaultParams()
+	disagreements, totalPairs := 0, 0
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ds, st := randomInstance(rng, 4+rng.Intn(10), 10+rng.Intn(50))
+		bres := (&Bound{Params: p}).DetectRound(ds, st, 1)
+		ires := (&Index{Params: p}).DetectRound(ds, st, 1)
+		iset := ires.CopyingSet()
+		for _, pr := range bres.Pairs {
+			totalPairs++
+			k := int64(pr.S1)<<32 | int64(uint32(pr.S2))
+			if pr.Copying != iset[k] {
+				disagreements++
+				// A copying conclusion from Cmin ≥ θcp is provably sound:
+				// Cmin lower-bounds the exact score.
+				if pr.Copying && !iset[k] {
+					t.Fatalf("seed %d: BOUND concluded copying for (S%d,S%d) but exact scores disagree — Cmin is unsound",
+						seed, pr.S1, pr.S2)
+				}
+			}
+		}
+	}
+	if totalPairs == 0 {
+		t.Fatal("property test generated no pairs")
+	}
+	if rate := float64(disagreements) / float64(totalPairs); rate > 0.02 {
+		t.Errorf("BOUND disagreed with INDEX on %.2f%% of pairs (>2%%)", rate*100)
+	}
+}
+
+// TestPropertyHybridMatchesComponents: HYBRID's decisions coincide with
+// BOUND+'s for large-overlap pairs and INDEX's for small-overlap pairs.
+func TestPropertyHybridMatchesComponents(t *testing.T) {
+	p := bayes.DefaultParams()
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ds, st := randomInstance(rng, 6, 60)
+		h := (&Hybrid{Params: p}).DetectRound(ds, st, 1)
+		bp := (&BoundPlus{Params: p}).DetectRound(ds, st, 1)
+		i := (&Index{Params: p}).DetectRound(ds, st, 1)
+		iset := i.CopyingSet()
+		bpset := bp.CopyingSet()
+		for _, pr := range h.Pairs {
+			k := int64(pr.S1)<<32 | int64(uint32(pr.S2))
+			l := ds.SharedItems(pr.S1, pr.S2)
+			if l <= 16 {
+				if pr.Copying != iset[k] {
+					t.Errorf("seed %d: HYBRID small-overlap pair (S%d,S%d) differs from INDEX", seed, pr.S1, pr.S2)
+				}
+			} else if pr.Copying != bpset[k] {
+				t.Errorf("seed %d: HYBRID large-overlap pair (S%d,S%d) differs from BOUND+", seed, pr.S1, pr.S2)
+			}
+		}
+	}
+}
+
+// TestPropertyParallelIndexDeterministic: any worker count produces the
+// sequential result.
+func TestPropertyParallelIndexDeterministic(t *testing.T) {
+	p := bayes.DefaultParams()
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ds, st := randomInstance(rng, 8, 40)
+		seq := (&Index{Params: p}).DetectRound(ds, st, 1)
+		for _, w := range []int{2, 3, 4} {
+			par := (&Index{Params: p, Opts: Options{Workers: w}}).DetectRound(ds, st, 1)
+			if len(par.Pairs) != len(seq.Pairs) {
+				t.Fatalf("seed %d workers %d: pair counts differ", seed, w)
+			}
+			sset, pset := seq.CopyingSet(), par.CopyingSet()
+			for k := range sset {
+				if !pset[k] {
+					t.Fatalf("seed %d workers %d: decisions differ", seed, w)
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyParallelPairwiseDeterministic: sharded PAIRWISE matches the
+// sequential baseline.
+func TestPropertyParallelPairwiseDeterministic(t *testing.T) {
+	p := bayes.DefaultParams()
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ds, st := randomInstance(rng, 9, 30)
+		seq := (&Pairwise{Params: p}).DetectRound(ds, st, 1)
+		par := (&Pairwise{Params: p, Workers: 4}).DetectRound(ds, st, 1)
+		if seq.Stats.Computations != par.Stats.Computations {
+			t.Fatalf("seed %d: computation counts differ", seed)
+		}
+		sset, pset := seq.CopyingSet(), par.CopyingSet()
+		if len(sset) != len(pset) {
+			t.Fatalf("seed %d: copying sets differ in size", seed)
+		}
+		for k := range sset {
+			if !pset[k] {
+				t.Fatalf("seed %d: copying sets differ", seed)
+			}
+		}
+	}
+}
+
+// TestEmptyAndDegenerateDatasets: detectors must not panic on datasets
+// with no shared values, single sources with observations, or empty items.
+func TestEmptyAndDegenerateDatasets(t *testing.T) {
+	p := bayes.DefaultParams()
+	b := dataset.NewBuilder()
+	b.Add("S0", "D0", "x")
+	b.Add("S1", "D1", "y")
+	ds := b.Build()
+	st := bayes.NewState([]int{1, 1}, 2, 0.8)
+	for _, det := range []Detector{
+		&Pairwise{Params: p},
+		&Index{Params: p},
+		&Bound{Params: p},
+		&BoundPlus{Params: p},
+		&Hybrid{Params: p},
+	} {
+		res := det.DetectRound(ds, st, 1)
+		if len(res.CopyingPairs()) != 0 {
+			t.Errorf("%s found copying with zero shared items", det.Name())
+		}
+	}
+}

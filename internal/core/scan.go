@@ -1,0 +1,336 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"copydetect/internal/bayes"
+	"copydetect/internal/dataset"
+	"copydetect/internal/index"
+)
+
+// Options configures the index-driven single-round algorithms.
+type Options struct {
+	// Order is the entry processing order (Figure 3); default
+	// ByContribution.
+	Order index.Order
+	// Seed seeds the random entry order when Order == Random.
+	Seed int64
+	// ShareThreshold is HYBRID's split point: pairs sharing at most this
+	// many data items are handled INDEX-style, others with BOUND+. The
+	// paper determined 16 empirically. Zero means 16.
+	ShareThreshold int
+	// Workers parallelizes the per-entry pair updates of INDEX across a
+	// goroutine pool (the Section VIII extension). 0 or 1 is sequential.
+	Workers int
+}
+
+func (o Options) shareThreshold() int32 {
+	if o.ShareThreshold == 0 {
+		return 16
+	}
+	return int32(o.ShareThreshold)
+}
+
+// mode selects how the shared scan treats each pair.
+type mode int
+
+const (
+	modeIndex     mode = iota // no bounds: exact accumulation (Section III)
+	modeBound                 // bounds checked on every shared entry (Section IV-A)
+	modeBoundPlus             // bounds with lazy recomputation timers (Section IV-B)
+	modeHybrid                // INDEX for small-overlap pairs, BOUND+ otherwise
+)
+
+// Index is the INDEX algorithm of Section III: scan the inverted index in
+// decreasing contribution order, instantiate state only for pairs that
+// co-occur outside the tail set E̅, accumulate exact scores, and correct
+// for different-value items at the end. It produces exactly the PAIRWISE
+// decisions.
+type Index struct {
+	Params bayes.Params
+	Opts   Options
+	cache  structCache
+}
+
+// Name implements Detector.
+func (d *Index) Name() string { return "INDEX" }
+
+// Reset drops the cross-round structural cache.
+func (d *Index) Reset() { d.cache = structCache{} }
+
+// DetectRound implements Detector.
+func (d *Index) DetectRound(ds *dataset.Dataset, st *bayes.State, round int) *Result {
+	if d.Opts.Workers > 1 {
+		return parallelIndexRound(ds, st, d.Params, d.Opts, &d.cache)
+	}
+	return scanRound(ds, st, d.Params, d.Opts, modeIndex, &d.cache)
+}
+
+// Bound is the BOUND algorithm of Section IV-A: like INDEX, but it
+// maintains per-pair minimum and maximum score bounds (Eq. 9–10) on every
+// shared entry and terminates a pair as soon as the bounds decide copying
+// or no-copying.
+type Bound struct {
+	Params bayes.Params
+	Opts   Options
+	cache  structCache
+}
+
+// Name implements Detector.
+func (d *Bound) Name() string { return "BOUND" }
+
+// Reset drops the cross-round structural cache.
+func (d *Bound) Reset() { d.cache = structCache{} }
+
+// DetectRound implements Detector.
+func (d *Bound) DetectRound(ds *dataset.Dataset, st *bayes.State, round int) *Result {
+	return scanRound(ds, st, d.Params, d.Opts, modeBound, &d.cache)
+}
+
+// BoundPlus is BOUND+ (Section IV-B): BOUND plus the Tmin/Tmax timers that
+// skip bound recomputation until enough new evidence could possibly change
+// the outcome.
+type BoundPlus struct {
+	Params bayes.Params
+	Opts   Options
+	cache  structCache
+}
+
+// Name implements Detector.
+func (d *BoundPlus) Name() string { return "BOUND+" }
+
+// Reset drops the cross-round structural cache.
+func (d *BoundPlus) Reset() { d.cache = structCache{} }
+
+// DetectRound implements Detector.
+func (d *BoundPlus) DetectRound(ds *dataset.Dataset, st *bayes.State, round int) *Result {
+	return scanRound(ds, st, d.Params, d.Opts, modeBoundPlus, &d.cache)
+}
+
+// Hybrid applies INDEX to pairs that share at most Opts.ShareThreshold
+// data items (where bound bookkeeping costs more than it saves) and
+// BOUND+ to the rest (end of Section IV).
+type Hybrid struct {
+	Params bayes.Params
+	Opts   Options
+	cache  structCache
+}
+
+// Name implements Detector.
+func (d *Hybrid) Name() string { return "HYBRID" }
+
+// Reset drops the cross-round structural cache.
+func (d *Hybrid) Reset() { d.cache = structCache{} }
+
+// DetectRound implements Detector.
+func (d *Hybrid) DetectRound(ds *dataset.Dataset, st *bayes.State, round int) *Result {
+	return scanRound(ds, st, d.Params, d.Opts, modeHybrid, &d.cache)
+}
+
+// pairState is the per-pair scan state of the index-driven algorithms.
+type pairState struct {
+	s1, s2 dataset.SourceID
+	l      int32 // shared items l(S1,S2)
+	n0     int32 // observed shared values
+	cTo    float64
+	cFrom  float64
+	// BOUND+ lazy-recomputation timers.
+	minSkipUntil int32 // recompute Cmin when n0 >= this
+	maxSkipN1    int32 // recompute Cmax when n(S1) >= this ...
+	maxSkipN2    int32 // ... or n(S2) >= this
+	useBounds    bool
+	decided      bool
+	copying      bool
+}
+
+// scanRound runs one round of INDEX/BOUND/BOUND+/HYBRID. cache may be nil
+// for one-shot callers.
+func scanRound(ds *dataset.Dataset, st *bayes.State, p bayes.Params, opts Options, m mode, cache *structCache) *Result {
+	buildStart := time.Now()
+	var rng *rand.Rand
+	if opts.Order == index.Random {
+		rng = rand.New(rand.NewSource(opts.Seed))
+	}
+	idx := index.Build(ds, st, p, opts.Order, rng)
+	var pm *index.PairMap
+	var lCounts []int32
+	if cache != nil {
+		pm, lCounts = cache.sharedCounts(ds, idx)
+	} else {
+		pm = index.CandidatePairs(idx, ds.NumSources())
+		lCounts = index.SharedItemCounts(ds, pm)
+	}
+	res := &Result{NumSources: ds.NumSources()}
+	res.Stats.Rounds = 1
+	res.Stats.IndexBuild = time.Since(buildStart)
+
+	detectStart := time.Now()
+	scanIndex(ds, st, p, opts, m, idx, pm, lCounts, res)
+	res.Stats.Detect = time.Since(detectStart)
+	return res
+}
+
+// scanIndex performs the entry scan over a prebuilt index and pair set,
+// shared by the single-round algorithms and by INCREMENTAL's preparation.
+func scanIndex(ds *dataset.Dataset, st *bayes.State, p bayes.Params, opts Options, m mode,
+	idx *index.Index, pm *index.PairMap, lCounts []int32, res *Result) {
+
+	thetaCp, thetaInd := p.ThetaCp(), p.ThetaInd()
+	lnDiff := p.LnDiff()
+	shareThreshold := opts.shareThreshold()
+
+	pairs := make([]pairState, pm.Len())
+	for slot, key := range pm.Keys() {
+		s1, s2 := key.Sources()
+		ps := &pairs[slot]
+		ps.s1, ps.s2 = s1, s2
+		ps.l = lCounts[slot]
+		if p.CoverageWeight > 0 {
+			// Footnote-1 extension: seed both directional scores with the
+			// coverage evidence, so bounds and decisions include it.
+			cov := p.CoverageWeight * p.CoverageLLR(int(ps.l),
+				ds.Coverage(s1), ds.Coverage(s2), ds.NumItems(), p.CoverageCap)
+			ps.cTo, ps.cFrom = cov, cov
+		}
+		switch m {
+		case modeBound, modeBoundPlus:
+			ps.useBounds = true
+		case modeHybrid:
+			ps.useBounds = ps.l > shareThreshold
+		}
+	}
+	useTimers := m == modeBoundPlus || m == modeHybrid
+
+	nSeen := make([]int32, ds.NumSources()) // n(S): values observed per source
+	for i := range idx.Entries {
+		e := &idx.Entries[i]
+		res.Stats.EntriesScanned++
+		// Tail entries (E̅) only ever update pairs that already exist:
+		// pairs co-occurring exclusively inside E̅ were never added to pm,
+		// so pm.Get below returns -1 for them and they stay pruned.
+		nextM := idx.MaxRemaining[i+1]
+		for _, s := range e.Providers {
+			nSeen[s]++
+		}
+		provs := e.Providers
+		for x := 0; x < len(provs); x++ {
+			for y := x + 1; y < len(provs); y++ {
+				s1, s2 := provs[x], provs[y]
+				slot := pm.Get(s1, s2)
+				if slot < 0 {
+					continue // pair shares values only inside the tail set
+				}
+				ps := &pairs[slot]
+				if ps.decided {
+					continue
+				}
+				// Contribution of sharing this value (Eq. 6), both
+				// directions. ContribSameDist(pv, pop, copier, copied).
+				ps.cTo += p.ContribSameDist(e.P, e.Pop, st.A[s1], st.A[s2])
+				ps.cFrom += p.ContribSameDist(e.P, e.Pop, st.A[s2], st.A[s1])
+				ps.n0++
+				res.Stats.ValuesExamined++
+				res.Stats.Computations += 2
+				if !ps.useBounds {
+					continue
+				}
+				// Cmin (Eq. 9): assume every unseen shared item disagrees.
+				if !useTimers || ps.n0 >= ps.minSkipUntil {
+					cmin := math.Max(ps.cTo, ps.cFrom) + float64(ps.l-ps.n0)*lnDiff
+					res.Stats.Computations++
+					if cmin >= thetaCp {
+						ps.decided, ps.copying = true, true
+						continue
+					}
+					if useTimers {
+						// The next shared value can raise Cmin by at most
+						// M − ln(1−s); skip until enough shared values to
+						// possibly reach θcp (Section IV-B).
+						t := int32(math.Ceil((thetaCp - cmin) / (nextM - lnDiff)))
+						if t < 1 {
+							t = 1
+						}
+						ps.minSkipUntil = ps.n0 + t
+					}
+				}
+				// Cmax (Eq. 10).
+				if !useTimers || nSeen[s1] >= ps.maxSkipN1 || nSeen[s2] >= ps.maxSkipN2 {
+					h := estimateOverlapSeen(ds, nSeen, ps)
+					cmax := math.Max(ps.cTo, ps.cFrom) +
+						(h-float64(ps.n0))*lnDiff + (float64(ps.l)-h)*nextM
+					res.Stats.Computations++
+					if cmax < thetaInd {
+						ps.decided, ps.copying = true, false
+						continue
+					}
+					if useTimers {
+						// Each additional different value lowers Cmax by
+						// M − ln(1−s); translate the needed count into
+						// per-source observation thresholds (Section IV-B).
+						t0 := math.Ceil((cmax - thetaInd) / (nextM - lnDiff))
+						need := t0 + h - float64(ps.n0)
+						cov1 := float64(ds.Coverage(s1))
+						cov2 := float64(ds.Coverage(s2))
+						ps.maxSkipN1 = int32(math.Ceil(need * cov1 / float64(ps.l)))
+						ps.maxSkipN2 = int32(math.Ceil(need * cov2 / float64(ps.l)))
+						if ps.maxSkipN1 <= nSeen[s1] {
+							ps.maxSkipN1 = nSeen[s1] + 1
+						}
+						if ps.maxSkipN2 <= nSeen[s2] {
+							ps.maxSkipN2 = nSeen[s2] + 1
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Step IV: every undecided pair has now seen all its shared values;
+	// apply the different-value correction and decide.
+	res.Stats.PairsConsidered += int64(len(pairs))
+	for i := range pairs {
+		ps := &pairs[i]
+		if ps.decided {
+			// Record the pair with the evidence available at its decision
+			// point; Cmin is the sound score estimate there.
+			cTo := ps.cTo + float64(ps.l-ps.n0)*lnDiff
+			cFrom := ps.cFrom + float64(ps.l-ps.n0)*lnDiff
+			prIndep, prTo, prFrom := p.Posterior(cTo, cFrom)
+			res.Pairs = append(res.Pairs, PairResult{
+				S1: ps.s1, S2: ps.s2, CTo: cTo, CFrom: cFrom,
+				PrIndep: prIndep, PrTo: prTo, PrFrom: prFrom,
+				Copying: ps.copying,
+			})
+			continue
+		}
+		diff := float64(ps.l - ps.n0)
+		cTo := ps.cTo + diff*lnDiff
+		cFrom := ps.cFrom + diff*lnDiff
+		res.Stats.Computations += 2
+		copying, prIndep, prTo, prFrom := decide(p, cTo, cFrom)
+		res.Pairs = append(res.Pairs, PairResult{
+			S1: ps.s1, S2: ps.s2, CTo: cTo, CFrom: cFrom,
+			PrIndep: prIndep, PrTo: prTo, PrFrom: prFrom,
+			Copying: copying,
+		})
+	}
+}
+
+// estimateOverlapSeen computes h, the estimated number of already-scanned
+// data items shared by the pair: max over the two sources of
+// n(S)·l(S1,S2)/|D̄(S)| (Section IV-A), clamped into [n0, l].
+func estimateOverlapSeen(ds *dataset.Dataset, nSeen []int32, ps *pairState) float64 {
+	l := float64(ps.l)
+	h1 := float64(nSeen[ps.s1]) * l / float64(ds.Coverage(ps.s1))
+	h2 := float64(nSeen[ps.s2]) * l / float64(ds.Coverage(ps.s2))
+	h := math.Max(h1, h2)
+	if h < float64(ps.n0) {
+		h = float64(ps.n0)
+	}
+	if h > l {
+		h = l
+	}
+	return h
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"copydetect/internal/dataset"
+	"copydetect/internal/index"
+)
+
+// structCache memoizes the purely structural part of the scan across
+// rounds of the iterative process: which source pairs co-occur in any
+// index entry, and how many data items each such pair shares. Both depend
+// only on the observations — never on value probabilities or accuracies —
+// so they are computed once per dataset and reused in every round. (The
+// paper counts l(S1,S2) "at index building time"; this keeps that cost out
+// of the per-round loop entirely.)
+//
+// The per-round candidate pair set (pairs co-occurring outside the round's
+// tail set E̅) is still recomputed each round, because the tail set moves
+// with the scores; only the expensive shared-item counting is cached.
+type structCache struct {
+	ds    *dataset.Dataset
+	pmAll *index.PairMap
+	lAll  []int32
+}
+
+// sharedCounts returns the candidate pair map for this round's index plus
+// the shared-item counts for exactly those pairs.
+func (c *structCache) sharedCounts(ds *dataset.Dataset, idx *index.Index) (*index.PairMap, []int32) {
+	if c.ds != ds {
+		c.ds = ds
+		c.pmAll = index.NewPairMap(ds.NumSources())
+		for i := range idx.Entries {
+			provs := idx.Entries[i].Providers
+			for x := 0; x < len(provs); x++ {
+				for y := x + 1; y < len(provs); y++ {
+					c.pmAll.GetOrAdd(provs[x], provs[y])
+				}
+			}
+		}
+		c.lAll = index.SharedItemCounts(ds, c.pmAll)
+	}
+	pm := index.CandidatePairs(idx, ds.NumSources())
+	l := make([]int32, pm.Len())
+	for slot, key := range pm.Keys() {
+		s1, s2 := key.Sources()
+		all := c.pmAll.Get(s1, s2)
+		if all < 0 {
+			// The pair co-occurs in this round's index but was unseen when
+			// the cache was built — possible only if the dataset changed
+			// under us; fall back to a direct count.
+			l[slot] = int32(ds.SharedItems(s1, s2))
+			continue
+		}
+		l[slot] = c.lAll[all]
+	}
+	return pm, l
+}

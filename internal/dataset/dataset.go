@@ -1,0 +1,332 @@
+// Package dataset defines the structured-data model used throughout the
+// copy-detection library: data sources, data items, the values each source
+// provides for each item, and an optional gold standard of true values.
+//
+// The model follows Section II of "Scaling up Copy Detection" (Li et al.,
+// ICDE 2015): a domain D of data items, a set S of sources, each source
+// providing at most one value per data item. Schema mapping and entity
+// resolution are assumed done, so items and values are already aligned
+// across sources; values are interned per item as dense integer ids.
+package dataset
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SourceID identifies a data source; ids are dense in [0, NumSources).
+type SourceID = int32
+
+// ItemID identifies a data item; ids are dense in [0, NumItems).
+type ItemID = int32
+
+// ValueID identifies a value within one data item's domain; ids are dense
+// per item in [0, NumValues(item)). The same ValueID in different items is
+// unrelated.
+type ValueID = int32
+
+// NoValue marks the absence of a value (missing cell, unknown truth).
+const NoValue ValueID = -1
+
+// Obs is one observation from the perspective of a source: the source
+// provides value Value on data item Item.
+type Obs struct {
+	Item  ItemID
+	Value ValueID
+}
+
+// SV is one observation from the perspective of a data item: source Source
+// provides value Value on it.
+type SV struct {
+	Source SourceID
+	Value  ValueID
+}
+
+// Dataset is an immutable collection of observations over sources × items.
+// Build one with a Builder; all slices are sorted as documented and must
+// not be mutated afterwards.
+type Dataset struct {
+	// SourceNames[s] is the display name of source s.
+	SourceNames []string
+	// ItemNames[d] is the display name of data item d.
+	ItemNames []string
+	// ValueNames[d][v] is the display label of value v of item d.
+	ValueNames [][]string
+
+	// BySource[s] lists the observations of source s, sorted by Item.
+	BySource [][]Obs
+	// ByItem[d] lists the observations on item d, sorted by Source.
+	ByItem [][]SV
+
+	// Truth[d] is the gold-standard true value of item d, or NoValue when
+	// unknown. May be nil when no gold standard exists.
+	Truth []ValueID
+}
+
+// NumSources returns |S|.
+func (ds *Dataset) NumSources() int { return len(ds.SourceNames) }
+
+// NumItems returns |D|.
+func (ds *Dataset) NumItems() int { return len(ds.ItemNames) }
+
+// NumValues returns the number of distinct values observed on item d.
+func (ds *Dataset) NumValues(d ItemID) int { return len(ds.ValueNames[d]) }
+
+// Coverage returns |D̄(S)|, the number of items source s provides.
+func (ds *Dataset) Coverage(s SourceID) int { return len(ds.BySource[s]) }
+
+// NumObservations returns the total number of non-empty cells.
+func (ds *Dataset) NumObservations() int {
+	n := 0
+	for _, obs := range ds.BySource {
+		n += len(obs)
+	}
+	return n
+}
+
+// TotalDistinctValues returns the number of distinct (item, value) pairs.
+func (ds *Dataset) TotalDistinctValues() int {
+	n := 0
+	for _, vs := range ds.ValueNames {
+		n += len(vs)
+	}
+	return n
+}
+
+// ValueOf returns the value source s provides on item d, or NoValue if s
+// does not cover d. It runs a binary search over the source's observations.
+func (ds *Dataset) ValueOf(s SourceID, d ItemID) ValueID {
+	obs := ds.BySource[s]
+	i := sort.Search(len(obs), func(i int) bool { return obs[i].Item >= d })
+	if i < len(obs) && obs[i].Item == d {
+		return obs[i].Value
+	}
+	return NoValue
+}
+
+// SharedItems returns l(S1,S2): the number of items covered by both
+// sources. It merges the two sorted observation lists.
+func (ds *Dataset) SharedItems(s1, s2 SourceID) int {
+	a, b := ds.BySource[s1], ds.BySource[s2]
+	n, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Item < b[j].Item:
+			i++
+		case a[i].Item > b[j].Item:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// SharedValues returns n(S1,S2): the number of items on which the two
+// sources provide the same value.
+func (ds *Dataset) SharedValues(s1, s2 SourceID) int {
+	a, b := ds.BySource[s1], ds.BySource[s2]
+	n, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Item < b[j].Item:
+			i++
+		case a[i].Item > b[j].Item:
+			j++
+		default:
+			if a[i].Value == b[j].Value {
+				n++
+			}
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// Validate checks internal consistency of the dataset and returns a
+// descriptive error on the first violation found. It is intended for tests
+// and for data loaded from external files.
+func (ds *Dataset) Validate() error {
+	if len(ds.BySource) != len(ds.SourceNames) {
+		return fmt.Errorf("dataset: BySource has %d sources, SourceNames has %d", len(ds.BySource), len(ds.SourceNames))
+	}
+	if len(ds.ByItem) != len(ds.ItemNames) {
+		return fmt.Errorf("dataset: ByItem has %d items, ItemNames has %d", len(ds.ByItem), len(ds.ItemNames))
+	}
+	if len(ds.ValueNames) != len(ds.ItemNames) {
+		return fmt.Errorf("dataset: ValueNames has %d items, ItemNames has %d", len(ds.ValueNames), len(ds.ItemNames))
+	}
+	if ds.Truth != nil && len(ds.Truth) != len(ds.ItemNames) {
+		return fmt.Errorf("dataset: Truth has %d items, ItemNames has %d", len(ds.Truth), len(ds.ItemNames))
+	}
+	nObsBySource := 0
+	for s, obs := range ds.BySource {
+		for i, o := range obs {
+			if i > 0 && obs[i-1].Item >= o.Item {
+				return fmt.Errorf("dataset: source %d observations not strictly sorted by item at %d", s, i)
+			}
+			if o.Item < 0 || int(o.Item) >= len(ds.ItemNames) {
+				return fmt.Errorf("dataset: source %d references item %d out of range", s, o.Item)
+			}
+			if o.Value < 0 || int(o.Value) >= len(ds.ValueNames[o.Item]) {
+				return fmt.Errorf("dataset: source %d item %d references value %d out of range", s, o.Item, o.Value)
+			}
+		}
+		nObsBySource += len(obs)
+	}
+	nObsByItem := 0
+	for d, svs := range ds.ByItem {
+		for i, sv := range svs {
+			if i > 0 && svs[i-1].Source >= sv.Source {
+				return fmt.Errorf("dataset: item %d observations not strictly sorted by source at %d", d, i)
+			}
+			if sv.Source < 0 || int(sv.Source) >= len(ds.SourceNames) {
+				return fmt.Errorf("dataset: item %d references source %d out of range", d, sv.Source)
+			}
+			if got := ds.ValueOf(sv.Source, ItemID(d)); got != sv.Value {
+				return fmt.Errorf("dataset: item %d source %d: ByItem says value %d, BySource says %d", d, sv.Source, sv.Value, got)
+			}
+		}
+		nObsByItem += len(svs)
+	}
+	if nObsBySource != nObsByItem {
+		return fmt.Errorf("dataset: BySource has %d observations, ByItem has %d", nObsBySource, nObsByItem)
+	}
+	if ds.Truth != nil {
+		for d, t := range ds.Truth {
+			if t != NoValue && (t < 0 || int(t) >= len(ds.ValueNames[d])) {
+				return fmt.Errorf("dataset: truth of item %d references value %d out of range", d, t)
+			}
+		}
+	}
+	return nil
+}
+
+// Builder incrementally assembles a Dataset from named observations.
+// The zero value is ready to use.
+type Builder struct {
+	sourceIDs map[string]SourceID
+	itemIDs   map[string]ItemID
+	valueIDs  []map[string]ValueID // per item
+
+	sourceNames []string
+	itemNames   []string
+	valueNames  [][]string
+
+	obs   map[int64]ValueID // (source,item) -> value
+	truth map[ItemID]ValueID
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		sourceIDs: make(map[string]SourceID),
+		itemIDs:   make(map[string]ItemID),
+		obs:       make(map[int64]ValueID),
+		truth:     make(map[ItemID]ValueID),
+	}
+}
+
+// Source interns a source name and returns its id.
+func (b *Builder) Source(name string) SourceID {
+	if id, ok := b.sourceIDs[name]; ok {
+		return id
+	}
+	id := SourceID(len(b.sourceNames))
+	b.sourceIDs[name] = id
+	b.sourceNames = append(b.sourceNames, name)
+	return id
+}
+
+// Item interns an item name and returns its id.
+func (b *Builder) Item(name string) ItemID {
+	if id, ok := b.itemIDs[name]; ok {
+		return id
+	}
+	id := ItemID(len(b.itemNames))
+	b.itemIDs[name] = id
+	b.itemNames = append(b.itemNames, name)
+	b.valueIDs = append(b.valueIDs, make(map[string]ValueID))
+	b.valueNames = append(b.valueNames, nil)
+	return id
+}
+
+// Value interns a value label within an item's domain and returns its id.
+func (b *Builder) Value(item ItemID, label string) ValueID {
+	if id, ok := b.valueIDs[item][label]; ok {
+		return id
+	}
+	id := ValueID(len(b.valueNames[item]))
+	b.valueIDs[item][label] = id
+	b.valueNames[item] = append(b.valueNames[item], label)
+	return id
+}
+
+// Add records that the named source provides the labeled value on the
+// named item. Adding the same (source, item) twice overwrites the value;
+// the last write wins.
+func (b *Builder) Add(source, item, value string) {
+	s := b.Source(source)
+	d := b.Item(item)
+	v := b.Value(d, value)
+	b.AddIDs(s, d, v)
+}
+
+// AddIDs records an observation by pre-interned ids.
+func (b *Builder) AddIDs(s SourceID, d ItemID, v ValueID) {
+	b.obs[int64(s)<<32|int64(uint32(d))] = v
+}
+
+// SetTruth records the gold-standard true value for the named item.
+func (b *Builder) SetTruth(item, value string) {
+	d := b.Item(item)
+	b.truth[d] = b.Value(d, value)
+}
+
+// SetTruthIDs records the gold-standard true value by ids.
+func (b *Builder) SetTruthIDs(d ItemID, v ValueID) { b.truth[d] = v }
+
+// NumObservations reports how many (source, item) cells have been added.
+func (b *Builder) NumObservations() int { return len(b.obs) }
+
+// Build materializes the dataset. The Builder can keep being used and
+// Build called again, but the returned Dataset never changes.
+func (b *Builder) Build() *Dataset {
+	ds := &Dataset{
+		SourceNames: append([]string(nil), b.sourceNames...),
+		ItemNames:   append([]string(nil), b.itemNames...),
+		ValueNames:  make([][]string, len(b.valueNames)),
+		BySource:    make([][]Obs, len(b.sourceNames)),
+		ByItem:      make([][]SV, len(b.itemNames)),
+	}
+	for d, vs := range b.valueNames {
+		ds.ValueNames[d] = append([]string(nil), vs...)
+	}
+	for key, v := range b.obs {
+		s := SourceID(key >> 32)
+		d := ItemID(uint32(key))
+		ds.BySource[s] = append(ds.BySource[s], Obs{Item: d, Value: v})
+		ds.ByItem[d] = append(ds.ByItem[d], SV{Source: s, Value: v})
+	}
+	for s := range ds.BySource {
+		obs := ds.BySource[s]
+		sort.Slice(obs, func(i, j int) bool { return obs[i].Item < obs[j].Item })
+	}
+	for d := range ds.ByItem {
+		svs := ds.ByItem[d]
+		sort.Slice(svs, func(i, j int) bool { return svs[i].Source < svs[j].Source })
+	}
+	if len(b.truth) > 0 {
+		ds.Truth = make([]ValueID, len(b.itemNames))
+		for d := range ds.Truth {
+			ds.Truth[d] = NoValue
+		}
+		for d, v := range b.truth {
+			ds.Truth[d] = v
+		}
+	}
+	return ds
+}

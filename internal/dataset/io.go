@@ -1,0 +1,176 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// jsonDataset is the on-disk JSON form of a dataset: a compact,
+// human-inspectable triple store plus optional truth.
+type jsonDataset struct {
+	Sources      []string          `json:"sources"`
+	Items        []string          `json:"items"`
+	Observations []jsonObs         `json:"observations"`
+	Truth        map[string]string `json:"truth,omitempty"`
+}
+
+type jsonObs struct {
+	Source string `json:"s"`
+	Item   string `json:"d"`
+	Value  string `json:"v"`
+}
+
+// WriteJSON serializes the dataset as JSON.
+func WriteJSON(w io.Writer, ds *Dataset) error {
+	jd := jsonDataset{
+		Sources: ds.SourceNames,
+		Items:   ds.ItemNames,
+	}
+	for s, obs := range ds.BySource {
+		for _, o := range obs {
+			jd.Observations = append(jd.Observations, jsonObs{
+				Source: ds.SourceNames[s],
+				Item:   ds.ItemNames[o.Item],
+				Value:  ds.ValueNames[o.Item][o.Value],
+			})
+		}
+	}
+	if ds.Truth != nil {
+		jd.Truth = make(map[string]string)
+		for d, v := range ds.Truth {
+			if v != NoValue {
+				jd.Truth[ds.ItemNames[d]] = ds.ValueNames[d][v]
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(jd)
+}
+
+// ReadJSON parses a dataset previously written with WriteJSON.
+func ReadJSON(r io.Reader) (*Dataset, error) {
+	var jd jsonDataset
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&jd); err != nil {
+		return nil, fmt.Errorf("dataset: decode json: %w", err)
+	}
+	b := NewBuilder()
+	for _, s := range jd.Sources {
+		b.Source(s)
+	}
+	for _, d := range jd.Items {
+		b.Item(d)
+	}
+	for _, o := range jd.Observations {
+		b.Add(o.Source, o.Item, o.Value)
+	}
+	for d, v := range jd.Truth {
+		b.SetTruth(d, v)
+	}
+	ds := b.Build()
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// ReadCSV parses a tabular dataset in the layout of the paper's Table I:
+// the first row is a header "source,item1,item2,...", each following row is
+// a source name and its value for each item; empty cells are missing
+// values. Rows whose source name is "TRUTH" (case-insensitive) define the
+// gold standard instead of a source.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(bufio.NewReader(r))
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read csv header: %w", err)
+	}
+	if len(header) < 2 {
+		return nil, fmt.Errorf("dataset: csv header needs a source column and at least one item column")
+	}
+	items := header[1:]
+	b := NewBuilder()
+	for _, d := range items {
+		b.Item(strings.TrimSpace(d))
+	}
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: read csv: %w", err)
+		}
+		line++
+		if len(rec) == 0 {
+			continue
+		}
+		name := strings.TrimSpace(rec[0])
+		if name == "" {
+			return nil, fmt.Errorf("dataset: csv line %d: empty source name", line)
+		}
+		isTruth := strings.EqualFold(name, "TRUTH")
+		for i := 1; i < len(rec) && i <= len(items); i++ {
+			v := strings.TrimSpace(rec[i])
+			if v == "" {
+				continue
+			}
+			if isTruth {
+				b.SetTruth(items[i-1], v)
+			} else {
+				b.Add(name, items[i-1], v)
+			}
+		}
+	}
+	ds := b.Build()
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// WriteCSV serializes the dataset in the tabular layout read by ReadCSV.
+// Datasets with very many items produce very wide files; it is intended
+// for small fixtures and debugging.
+func WriteCSV(w io.Writer, ds *Dataset) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"source"}, ds.ItemNames...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(header))
+	for s := range ds.SourceNames {
+		row[0] = ds.SourceNames[s]
+		for i := range ds.ItemNames {
+			row[i+1] = ""
+		}
+		for _, o := range ds.BySource[s] {
+			row[o.Item+1] = ds.ValueNames[o.Item][o.Value]
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	if ds.Truth != nil {
+		row[0] = "TRUTH"
+		for i := range ds.ItemNames {
+			row[i+1] = ""
+		}
+		for d, v := range ds.Truth {
+			if v != NoValue {
+				row[d+1] = ds.ValueNames[d][v]
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

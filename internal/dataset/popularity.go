@@ -1,0 +1,26 @@
+package dataset
+
+// ValuePopularities estimates, for every value of every item, the
+// probability that a wrong source would provide exactly that value — the
+// empirical input of the paper's footnote-2 relaxation (value
+// distributions instead of n uniform false values). The estimate is the
+// value's share of the item's observations; it is a static property of
+// the dataset and is computed once.
+func ValuePopularities(ds *Dataset) [][]float64 {
+	pop := make([][]float64, ds.NumItems())
+	for d := range ds.ByItem {
+		nv := ds.NumValues(ItemID(d))
+		pop[d] = make([]float64, nv)
+		total := len(ds.ByItem[d])
+		if total == 0 {
+			continue
+		}
+		for _, sv := range ds.ByItem[d] {
+			pop[d][sv.Value]++
+		}
+		for v := range pop[d] {
+			pop[d][v] /= float64(total)
+		}
+	}
+	return pop
+}

@@ -1,0 +1,56 @@
+package dataset
+
+import "fmt"
+
+// Stats summarizes a dataset the way Table V of the paper does, plus a few
+// extra structural measures used when calibrating synthetic workloads.
+type Stats struct {
+	Sources        int
+	Items          int
+	Observations   int     // non-empty cells
+	DistinctValues int     // distinct (item, value) pairs
+	SharedValues   int     // values provided by >= 2 sources (indexable)
+	AvgConflict    float64 // avg distinct values per multi-provider item
+	AvgCoverage    float64 // avg fraction of items covered per source
+}
+
+// Summarize computes dataset statistics in one pass over ByItem.
+func Summarize(ds *Dataset) Stats {
+	st := Stats{
+		Sources: ds.NumSources(),
+		Items:   ds.NumItems(),
+	}
+	conflictSum, conflictItems := 0, 0
+	for d := range ds.ByItem {
+		st.Observations += len(ds.ByItem[d])
+		nv := ds.NumValues(ItemID(d))
+		st.DistinctValues += nv
+		// Count values on this item provided by at least two sources.
+		counts := make(map[ValueID]int, nv)
+		for _, sv := range ds.ByItem[d] {
+			counts[sv.Value]++
+		}
+		for _, c := range counts {
+			if c >= 2 {
+				st.SharedValues++
+			}
+		}
+		if len(ds.ByItem[d]) >= 2 {
+			conflictSum += nv
+			conflictItems++
+		}
+	}
+	if conflictItems > 0 {
+		st.AvgConflict = float64(conflictSum) / float64(conflictItems)
+	}
+	if st.Sources > 0 && st.Items > 0 {
+		st.AvgCoverage = float64(st.Observations) / float64(st.Sources) / float64(st.Items)
+	}
+	return st
+}
+
+// String formats the statistics on one line.
+func (st Stats) String() string {
+	return fmt.Sprintf("#Srcs=%d #Items=%d #Obs=%d #Dist-values=%d #Shared-values=%d avg-conflict=%.1f avg-coverage=%.2f",
+		st.Sources, st.Items, st.Observations, st.DistinctValues, st.SharedValues, st.AvgConflict, st.AvgCoverage)
+}

@@ -1,0 +1,157 @@
+// Package depgraph post-processes pairwise copy-detection results into a
+// copying dependency graph, separating direct copying relationships from
+// correlations explained by co-copying or transitive copying — the
+// distinction footnote 3 of the paper defers to Dong et al. (PVLDB 2010,
+// "Global detection of complex copying relationships").
+//
+// The simplification implemented here follows that paper's core greedy
+// idea: order the detected copying pairs by evidence strength (ascending
+// Pr(S1⊥S2|Φ)) and accept an edge as direct only if its endpoints are not
+// already connected through strictly stronger accepted edges. Pairs
+// rejected this way are exactly the ones whose correlation the accepted
+// subgraph already explains (A and B both copying C, or A copying B
+// through C). The accepted edges form a forest per copier community, and
+// the connected components recover the copier cliques.
+package depgraph
+
+import (
+	"sort"
+
+	"copydetect/internal/core"
+	"copydetect/internal/dataset"
+)
+
+// Edge is one detected copying relationship.
+type Edge struct {
+	S1, S2 dataset.SourceID // S1 < S2
+	// PrIndep is the posterior probability of independence (lower =
+	// stronger copying evidence).
+	PrIndep float64
+	// PrTo is Pr(S1→S2|Φ), PrFrom is Pr(S2→S1|Φ); their ratio suggests
+	// the copy direction.
+	PrTo, PrFrom float64
+	// Direct reports whether the edge survives transitive reduction.
+	Direct bool
+}
+
+// Graph is the analyzed copying structure.
+type Graph struct {
+	NumSources int
+	Edges      []Edge // all copying pairs, strongest first
+	parent     []int32
+}
+
+// Analyze builds the dependency graph from a detection result.
+func Analyze(res *core.Result) *Graph {
+	g := &Graph{NumSources: res.NumSources}
+	for _, pr := range res.Pairs {
+		if !pr.Copying {
+			continue
+		}
+		g.Edges = append(g.Edges, Edge{
+			S1: pr.S1, S2: pr.S2,
+			PrIndep: pr.PrIndep, PrTo: pr.PrTo, PrFrom: pr.PrFrom,
+		})
+	}
+	sort.Slice(g.Edges, func(i, j int) bool {
+		if g.Edges[i].PrIndep != g.Edges[j].PrIndep {
+			return g.Edges[i].PrIndep < g.Edges[j].PrIndep
+		}
+		// Deterministic tie-break.
+		if g.Edges[i].S1 != g.Edges[j].S1 {
+			return g.Edges[i].S1 < g.Edges[j].S1
+		}
+		return g.Edges[i].S2 < g.Edges[j].S2
+	})
+
+	g.parent = make([]int32, res.NumSources)
+	for i := range g.parent {
+		g.parent[i] = int32(i)
+	}
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		if g.find(int32(e.S1)) != g.find(int32(e.S2)) {
+			e.Direct = true
+			g.union(int32(e.S1), int32(e.S2))
+		}
+	}
+	return g
+}
+
+func (g *Graph) find(x int32) int32 {
+	for g.parent[x] != x {
+		g.parent[x] = g.parent[g.parent[x]]
+		x = g.parent[x]
+	}
+	return x
+}
+
+func (g *Graph) union(a, b int32) {
+	ra, rb := g.find(a), g.find(b)
+	if ra != rb {
+		g.parent[ra] = rb
+	}
+}
+
+// DirectEdges returns the edges classified as direct copying.
+func (g *Graph) DirectEdges() []Edge {
+	var out []Edge
+	for _, e := range g.Edges {
+		if e.Direct {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TransitiveEdges returns the copying pairs whose correlation the direct
+// edges already explain (co-copying or transitive copying).
+func (g *Graph) TransitiveEdges() []Edge {
+	var out []Edge
+	for _, e := range g.Edges {
+		if !e.Direct {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Cliques returns the copier communities: connected components of the
+// copying graph with at least two members, each sorted by source id, and
+// the components sorted by their smallest member.
+func (g *Graph) Cliques() [][]dataset.SourceID {
+	members := make(map[int32][]dataset.SourceID)
+	seen := make(map[dataset.SourceID]bool)
+	for _, e := range g.Edges {
+		for _, s := range []dataset.SourceID{e.S1, e.S2} {
+			if !seen[s] {
+				seen[s] = true
+				root := g.find(int32(s))
+				members[root] = append(members[root], s)
+			}
+		}
+	}
+	var out [][]dataset.SourceID
+	for _, m := range members {
+		if len(m) >= 2 {
+			sort.Slice(m, func(i, j int) bool { return m[i] < m[j] })
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// Direction guesses the copy direction of an edge: +1 when S1 copies from
+// S2 (PrTo dominates), -1 for the reverse, 0 when ambiguous (within a
+// factor of two).
+func (e Edge) Direction() int {
+	switch {
+	case e.PrTo > 2*e.PrFrom:
+		return +1
+	case e.PrFrom > 2*e.PrTo:
+		return -1
+	default:
+		return 0
+	}
+}

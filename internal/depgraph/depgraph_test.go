@@ -1,0 +1,128 @@
+package depgraph
+
+import (
+	"testing"
+
+	"copydetect/internal/bayes"
+	"copydetect/internal/core"
+	"copydetect/internal/dataset"
+	"copydetect/internal/fusion"
+)
+
+// motivatingGraph runs the iterative process on the paper's motivating
+// example and analyzes the final copying result.
+func motivatingGraph(t *testing.T) *Graph {
+	t.Helper()
+	ds, _ := dataset.Motivating()
+	p := bayes.Params{Alpha: 0.1, S: 0.8, N: 50}
+	out := (&fusion.TruthFinder{Params: p}).Run(ds, &core.Pairwise{Params: p})
+	return Analyze(out.Copy)
+}
+
+// TestCliquesMotivating: the two copier communities of Table I must be
+// recovered exactly: {S2,S3,S4} and {S6,S7,S8}.
+func TestCliquesMotivating(t *testing.T) {
+	g := motivatingGraph(t)
+	cliques := g.Cliques()
+	if len(cliques) != 2 {
+		t.Fatalf("got %d cliques, want 2: %v", len(cliques), cliques)
+	}
+	want := [][]dataset.SourceID{{2, 3, 4}, {6, 7, 8}}
+	for i, c := range cliques {
+		if len(c) != len(want[i]) {
+			t.Fatalf("clique %d = %v, want %v", i, c, want[i])
+		}
+		for j := range c {
+			if c[j] != want[i][j] {
+				t.Fatalf("clique %d = %v, want %v", i, c, want[i])
+			}
+		}
+	}
+}
+
+// TestTransitiveReduction: a community of k sources keeps exactly k-1
+// direct edges; the rest are explained as co-/transitive copying.
+func TestTransitiveReduction(t *testing.T) {
+	g := motivatingGraph(t)
+	direct, trans := g.DirectEdges(), g.TransitiveEdges()
+	if len(direct) != 4 { // two communities of 3 sources => 2+2 tree edges
+		t.Errorf("direct edges = %d, want 4", len(direct))
+	}
+	if len(trans) != len(g.Edges)-len(direct) {
+		t.Errorf("edge partition inconsistent: %d + %d != %d", len(direct), len(trans), len(g.Edges))
+	}
+	if len(g.Edges) != 6 {
+		t.Errorf("total copying edges = %d, want 6", len(g.Edges))
+	}
+	// Direct edges are at least as strong as the transitive ones within
+	// the same component (greedy acceptance order).
+	for _, te := range trans {
+		stronger := 0
+		for _, de := range direct {
+			if de.PrIndep <= te.PrIndep {
+				stronger++
+			}
+		}
+		if stronger == 0 {
+			t.Errorf("transitive edge (%d,%d) stronger than every direct edge", te.S1, te.S2)
+		}
+	}
+}
+
+// TestAnalyzeEmptyAndSingle: degenerate inputs.
+func TestAnalyzeEmptyAndSingle(t *testing.T) {
+	g := Analyze(&core.Result{NumSources: 5})
+	if len(g.Edges) != 0 || len(g.Cliques()) != 0 {
+		t.Error("empty result should give empty graph")
+	}
+	res := &core.Result{NumSources: 5, Pairs: []core.PairResult{
+		{S1: 1, S2: 3, Copying: true, PrIndep: 0.1, PrTo: 0.8, PrFrom: 0.1},
+		{S1: 0, S2: 4, Copying: false, PrIndep: 0.9},
+	}}
+	g = Analyze(res)
+	if len(g.Edges) != 1 || !g.Edges[0].Direct {
+		t.Fatalf("single copying edge must be direct: %+v", g.Edges)
+	}
+	cl := g.Cliques()
+	if len(cl) != 1 || len(cl[0]) != 2 {
+		t.Fatalf("cliques = %v", cl)
+	}
+}
+
+func TestEdgeDirection(t *testing.T) {
+	cases := []struct {
+		to, from float64
+		want     int
+	}{
+		{0.9, 0.05, +1},
+		{0.05, 0.9, -1},
+		{0.4, 0.3, 0},
+	}
+	for _, c := range cases {
+		e := Edge{PrTo: c.to, PrFrom: c.from}
+		if got := e.Direction(); got != c.want {
+			t.Errorf("Direction(%v, %v) = %d, want %d", c.to, c.from, got, c.want)
+		}
+	}
+}
+
+// TestDeterministicUnderTies: identical PrIndep values must yield a
+// deterministic direct/transitive split.
+func TestDeterministicUnderTies(t *testing.T) {
+	mk := func() *core.Result {
+		return &core.Result{NumSources: 4, Pairs: []core.PairResult{
+			{S1: 0, S2: 1, Copying: true, PrIndep: 0.1},
+			{S1: 1, S2: 2, Copying: true, PrIndep: 0.1},
+			{S1: 0, S2: 2, Copying: true, PrIndep: 0.1},
+		}}
+	}
+	a, b := Analyze(mk()), Analyze(mk())
+	for i := range a.Edges {
+		if a.Edges[i].Direct != b.Edges[i].Direct {
+			t.Fatal("tie-breaking not deterministic")
+		}
+	}
+	if len(a.DirectEdges()) != 2 {
+		t.Errorf("triangle should keep 2 direct edges, got %d", len(a.DirectEdges()))
+	}
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRunTiny executes every experiment at a tiny scale as a
+// smoke test: no errors, and each emits its headline.
+func TestAllExperimentsRunTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test is slow")
+	}
+	var buf bytes.Buffer
+	env := NewEnv(&buf, 0.05, 1)
+	if err := env.Run("all"); err != nil {
+		t.Fatalf("run all: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Motivating example",
+		"Table V",
+		"Table VI",
+		"Table VII",
+		"Table VIII",
+		"Table IX",
+		"Table X",
+		"Figure 2",
+		"Figure 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// The motivating experiment must report the exact golden counts.
+	if !strings.Contains(out, "26 pairs, 51 shared values, 154 computations") {
+		t.Error("motivating example did not reproduce Example 3.6's counts")
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	env := NewEnv(&buf, 0.05, 1)
+	if err := env.Run("table99"); err == nil {
+		t.Fatal("unknown experiment should fail")
+	}
+}
+
+func TestUnknownDataset(t *testing.T) {
+	var buf bytes.Buffer
+	env := NewEnv(&buf, 0.05, 1)
+	if _, err := env.Instance("nope"); err == nil {
+		t.Fatal("unknown dataset should fail")
+	}
+}
+
+func TestInstanceCached(t *testing.T) {
+	var buf bytes.Buffer
+	env := NewEnv(&buf, 0.05, 1)
+	a, err := env.Instance("book-cs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := env.Instance("book-cs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("instances should be cached")
+	}
+}
+
+func TestIDsStable(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 9 {
+		t.Fatalf("expected 9 experiments, got %d", len(ids))
+	}
+	if ids[0] != "motivating" {
+		t.Errorf("first experiment should be the motivating example")
+	}
+}
+
+func TestItemSampleRate(t *testing.T) {
+	if itemSampleRate("stock-2wk") != 0.01 {
+		t.Error("stock-2wk samples 1%")
+	}
+	if itemSampleRate("book-cs") != 0.1 {
+		t.Error("others sample 10%")
+	}
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"time"
+
+	"copydetect/internal/core"
+	"copydetect/internal/dataset"
+	"copydetect/internal/fusion"
+	"copydetect/internal/index"
+)
+
+// figureRounds pins the iteration count for the figure experiments, so
+// algorithms and orderings are compared on identical work. (Early
+// termination can flip borderline pairs, which would otherwise shift the
+// convergence path and the number of rounds.)
+const figureRounds = 6
+
+func (e *Env) runFixedRounds(ds *dataset.Dataset, det core.Detector) *fusion.Outcome {
+	tf := e.newTruthFinder()
+	tf.MinRounds = figureRounds
+	tf.MaxRounds = figureRounds
+	return tf.Run(ds, det)
+}
+
+// Figure2 prints the number of score computations and the copy-detection
+// time of the single-round algorithms over all rounds (paper Figure 2).
+func (e *Env) Figure2() error {
+	e.printf("Figure 2 — single-round algorithms, %d rounds\n", figureRounds)
+	e.printf("Expected shape: BOUND often costs more than INDEX (bound overhead),\n")
+	e.printf("BOUND+ cuts computations vs BOUND, HYBRID <= BOUND+.\n\n")
+	for _, id := range DatasetIDs {
+		inst, err := e.Instance(id)
+		if err != nil {
+			return err
+		}
+		p := e.Params
+		e.printf("%s\n%-8s %16s %14s\n", id, "Algo", "#Computations", "Time")
+		for _, m := range []struct {
+			name string
+			det  core.Detector
+		}{
+			{"INDEX", &core.Index{Params: p}},
+			{"BOUND", &core.Bound{Params: p}},
+			{"BOUND+", &core.BoundPlus{Params: p}},
+			{"HYBRID", &core.Hybrid{Params: p}},
+		} {
+			out := e.runFixedRounds(inst.DS, m.det)
+			e.printf("%-8s %16d %14v\n",
+				m.name, out.TotalStats.Computations, out.TotalStats.Total().Round(time.Millisecond))
+		}
+		e.printf("\n")
+	}
+	return nil
+}
+
+// Figure3 prints the cost ratio of the ByProvider and ByContribution
+// entry orderings against Random, under BOUND and HYBRID (paper Figure
+// 3). The paper plots wall-clock time; at reduced dataset scale wall
+// clock is noise-dominated, so the deterministic computation count — the
+// quantity the ordering actually changes, via earlier terminations — is
+// reported alongside the time.
+func (e *Env) Figure3() error {
+	e.printf("Figure 3 — index ordering vs random ordering (ratio, <1 is cheaper)\n")
+	for _, algo := range []string{"BOUND", "HYBRID"} {
+		e.printf("\n%s:\n%-12s %22s %22s   %s\n", algo, "Dataset",
+			"ByProvider comp/time", "ByContribution comp/time", "(paper: ByContribution fastest)")
+		for _, id := range DatasetIDs {
+			inst, err := e.Instance(id)
+			if err != nil {
+				return err
+			}
+			comps := make(map[index.Order]int64, 3)
+			times := make(map[index.Order]time.Duration, 3)
+			for _, ord := range []index.Order{index.Random, index.ByProvider, index.ByContribution} {
+				det := e.orderedDetector(algo, ord)
+				out := e.runFixedRounds(inst.DS, det)
+				comps[ord] = out.TotalStats.Computations
+				times[ord] = out.TotalStats.Detect // ordering affects the scan, not index build
+			}
+			rndC := float64(comps[index.Random])
+			rndT := float64(times[index.Random])
+			if rndC == 0 {
+				rndC = 1
+			}
+			if rndT == 0 {
+				rndT = 1
+			}
+			e.printf("%-12s %12.2f /%5.2f %15.2f /%5.2f\n", id,
+				float64(comps[index.ByProvider])/rndC, float64(times[index.ByProvider])/rndT,
+				float64(comps[index.ByContribution])/rndC, float64(times[index.ByContribution])/rndT)
+		}
+	}
+	e.printf("\n")
+	return nil
+}
+
+// orderedDetector builds BOUND or HYBRID with a given entry ordering.
+func (e *Env) orderedDetector(algo string, ord index.Order) core.Detector {
+	opts := core.Options{Order: ord, Seed: e.Seed + int64(ord)}
+	if algo == "BOUND" {
+		return &core.Bound{Params: e.Params, Opts: opts}
+	}
+	return &core.Hybrid{Params: e.Params, Opts: opts}
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// registry maps experiment ids to their runners.
+func (e *Env) registry() map[string]func() error {
+	return map[string]func() error{
+		"motivating": e.Motivating,
+		"table5":     e.Table5,
+		"table6":     e.Table6,
+		"table7":     e.Table7,
+		"table8":     e.Table8,
+		"table9":     e.Table9,
+		"table10":    e.Table10,
+		"figure2":    e.Figure2,
+		"figure3":    e.Figure3,
+	}
+}
+
+// IDs lists the available experiment ids in a stable order.
+func IDs() []string {
+	ids := []string{"motivating", "table5", "table6", "table7", "table8", "table9", "table10", "figure2", "figure3"}
+	return ids
+}
+
+// Run executes one experiment by id, or all of them for "all".
+func (e *Env) Run(id string) error {
+	if id == "all" {
+		for _, x := range IDs() {
+			if err := e.Run(x); err != nil {
+				return fmt.Errorf("experiment %s: %w", x, err)
+			}
+		}
+		return nil
+	}
+	reg := e.registry()
+	f, ok := reg[id]
+	if !ok {
+		known := make([]string, 0, len(reg))
+		for k := range reg {
+			known = append(known, k)
+		}
+		sort.Strings(known)
+		return fmt.Errorf("experiments: unknown id %q (known: %v)", id, known)
+	}
+	return f()
+}

@@ -1,0 +1,142 @@
+package fusion
+
+import (
+	"math/rand"
+	"testing"
+
+	"copydetect/internal/bayes"
+	"copydetect/internal/core"
+	"copydetect/internal/dataset"
+	"copydetect/internal/sample"
+)
+
+// TestOnRoundCallback: the per-round hook fires once per round with the
+// dataset the detector saw.
+func TestOnRoundCallback(t *testing.T) {
+	ds, _ := dataset.Motivating()
+	p := exampleParams()
+	var rounds []int
+	tf := &TruthFinder{Params: p}
+	tf.OnRound = func(round int, detDS *dataset.Dataset, detSt *bayes.State, res *core.Result) {
+		rounds = append(rounds, round)
+		if detDS != ds {
+			t.Error("OnRound should see the detection dataset")
+		}
+		if res == nil || len(detSt.A) != ds.NumSources() {
+			t.Error("OnRound got inconsistent arguments")
+		}
+	}
+	out := tf.Run(ds, &core.Index{Params: p})
+	if len(rounds) != out.Rounds {
+		t.Fatalf("callback fired %d times for %d rounds", len(rounds), out.Rounds)
+	}
+	for i, r := range rounds {
+		if r != i+1 {
+			t.Fatalf("rounds out of order: %v", rounds)
+		}
+	}
+}
+
+// TestMinMaxRounds: the driver honors forced round counts.
+func TestMinMaxRounds(t *testing.T) {
+	ds, _ := dataset.Motivating()
+	p := exampleParams()
+	out := (&TruthFinder{Params: p, MinRounds: 7, MaxRounds: 7}).Run(ds, &core.Index{Params: p})
+	if out.Rounds != 7 {
+		t.Errorf("forced 7 rounds, got %d", out.Rounds)
+	}
+	out = (&TruthFinder{Params: p, MinRounds: 1, MaxRounds: 2}).Run(ds, &core.Index{Params: p})
+	if out.Rounds > 2 {
+		t.Errorf("capped at 2 rounds, got %d", out.Rounds)
+	}
+}
+
+// TestSampledDriverProjection: with DetectDataset set, detection sees the
+// sampled items with shared value probabilities, and fusion still decides
+// all full-dataset items.
+func TestSampledDriverProjection(t *testing.T) {
+	ds, _ := dataset.Motivating()
+	p := exampleParams()
+	s := sample.ByItem(ds, 0.6, rand.New(rand.NewSource(2)))
+	var sawItems int
+	tf := &TruthFinder{Params: p, DetectDataset: s.Dataset, ItemMap: s.ItemMap}
+	tf.OnRound = func(round int, detDS *dataset.Dataset, detSt *bayes.State, res *core.Result) {
+		sawItems = detDS.NumItems()
+		if len(detSt.P) != detDS.NumItems() {
+			t.Error("projected state has wrong item count")
+		}
+	}
+	out := tf.Run(ds, &core.Index{Params: p})
+	if sawItems != s.Dataset.NumItems() {
+		t.Errorf("detector saw %d items, want %d", sawItems, s.Dataset.NumItems())
+	}
+	if len(out.Truth) != ds.NumItems() {
+		t.Errorf("fusion decided %d items, want all %d", len(out.Truth), ds.NumItems())
+	}
+}
+
+// TestUseValueDistEndToEnd: the footnote-2 relaxation must not break the
+// motivating example's conclusions.
+func TestUseValueDistEndToEnd(t *testing.T) {
+	ds, _ := dataset.Motivating()
+	p := exampleParams()
+	out := (&TruthFinder{Params: p, UseValueDist: true}).Run(ds, &core.Hybrid{Params: p})
+	for d, want := range ds.Truth {
+		if out.Truth[d] != want {
+			t.Errorf("truth of %s wrong under value-dist relaxation", ds.ItemNames[d])
+		}
+	}
+	set := out.Copy.CopyingSet()
+	for _, w := range [][2]dataset.SourceID{{2, 3}, {6, 8}} {
+		if !set[int64(w[0])<<32|int64(uint32(w[1]))] {
+			t.Errorf("clique pair (S%d,S%d) lost under relaxation", w[0], w[1])
+		}
+	}
+}
+
+// TestCoverageWeightEndToEnd: coverage evidence must not break the
+// motivating example either (every source covers nearly everything, so
+// the capped LLR is mild).
+func TestCoverageWeightEndToEnd(t *testing.T) {
+	ds, _ := dataset.Motivating()
+	p := exampleParams()
+	p.CoverageWeight = 0.5
+	out := (&TruthFinder{Params: p}).Run(ds, &core.Hybrid{Params: p})
+	for d, want := range ds.Truth {
+		if out.Truth[d] != want {
+			t.Errorf("truth of %s wrong under coverage evidence", ds.ItemNames[d])
+		}
+	}
+}
+
+// TestValuePopularitiesSumToOne: per item, empirical popularities sum to 1.
+func TestValuePopularitiesSumToOne(t *testing.T) {
+	ds, _ := dataset.Motivating()
+	pop := dataset.ValuePopularities(ds)
+	for d := range pop {
+		sum := 0.0
+		for _, pv := range pop[d] {
+			sum += pv
+		}
+		if len(ds.ByItem[d]) > 0 && (sum < 0.999 || sum > 1.001) {
+			t.Errorf("item %d popularities sum to %v", d, sum)
+		}
+	}
+}
+
+// TestRoundStatsAccumulate: the outcome's totals equal the per-round sums.
+func TestRoundStatsAccumulate(t *testing.T) {
+	ds, _ := dataset.Motivating()
+	p := exampleParams()
+	out := (&TruthFinder{Params: p}).Run(ds, &core.Hybrid{Params: p})
+	var comp int64
+	for _, st := range out.RoundStats {
+		comp += st.Computations
+	}
+	if comp != out.TotalStats.Computations {
+		t.Errorf("total computations %d != per-round sum %d", out.TotalStats.Computations, comp)
+	}
+	if out.TotalStats.Rounds != out.Rounds {
+		t.Errorf("stats rounds %d != %d", out.TotalStats.Rounds, out.Rounds)
+	}
+}

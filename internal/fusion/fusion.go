@@ -1,0 +1,174 @@
+// Package fusion implements the truth-finding side of the iterative
+// process of Section II: the ACCU-style data-fusion model of Dong et al.
+// (VLDB 2009) that considers both source accuracy and copying. Each round
+// it derives value probabilities from accuracy-weighted votes — where the
+// vote of a source believed to copy is discounted by the probability its
+// value was copied — and then recomputes source accuracies from the value
+// probabilities. Combined with any copy detector from internal/core it
+// forms the full loop the paper accelerates: copy detection → truth
+// finding → source accuracy, until convergence.
+package fusion
+
+import (
+	"math"
+	"sort"
+
+	"copydetect/internal/bayes"
+	"copydetect/internal/core"
+	"copydetect/internal/dataset"
+)
+
+// copyGraph gives, per source, its copying partners with the probability
+// that the source copies from the partner, for vote discounting.
+type copyGraph struct {
+	partners [][]partner
+}
+
+type partner struct {
+	other dataset.SourceID
+	// prCopies is Pr(this source copies from other | Φ).
+	prCopies float64
+}
+
+// newCopyGraph indexes the copying pairs of a detection result.
+func newCopyGraph(res *core.Result) *copyGraph {
+	g := &copyGraph{partners: make([][]partner, res.NumSources)}
+	if res == nil {
+		return g
+	}
+	for _, pr := range res.Pairs {
+		if !pr.Copying {
+			continue
+		}
+		// pr.PrTo is Pr(S1→S2|Φ): S1 copies from S2.
+		g.partners[pr.S1] = append(g.partners[pr.S1], partner{other: pr.S2, prCopies: pr.PrTo})
+		g.partners[pr.S2] = append(g.partners[pr.S2], partner{other: pr.S1, prCopies: pr.PrFrom})
+	}
+	return g
+}
+
+// ValueProbs computes P(D.v) for every observed value of every item. When
+// g is non-nil, votes are discounted for copying: providers of a value are
+// ranked by accuracy, and each provider's vote counts only with the
+// probability it did not copy the value from a higher-ranked provider
+// (independence factor I(S) of Dong et al.). The vote of source S is
+// q(S)·I(S) with the accuracy score q(S) = ln(n·A(S)/(1−A(S))), and value
+// probabilities follow from normalizing e^votes over the item's domain,
+// including its unobserved false values.
+func ValueProbs(ds *dataset.Dataset, st *bayes.State, p bayes.Params, g *copyGraph) [][]float64 {
+	probs := make([][]float64, ds.NumItems())
+	// Accuracy scores per source.
+	q := make([]float64, ds.NumSources())
+	for s, a := range st.A {
+		q[s] = math.Log(p.N * a / (1 - a))
+	}
+
+	var provBuf []dataset.SourceID
+	for d := range ds.ByItem {
+		svs := ds.ByItem[d]
+		nv := ds.NumValues(dataset.ItemID(d))
+		votes := make([]float64, nv)
+		if len(svs) > 0 {
+			for v := 0; v < nv; v++ {
+				provBuf = provBuf[:0]
+				for _, sv := range svs {
+					if int(sv.Value) == v {
+						provBuf = append(provBuf, sv.Source)
+					}
+				}
+				votes[v] = valueVote(provBuf, st, q, g)
+			}
+		}
+		probs[d] = normalizeVotes(votes, p.N)
+	}
+	return probs
+}
+
+// valueVote accumulates the discounted votes of the providers of a value.
+func valueVote(provs []dataset.SourceID, st *bayes.State, q []float64, g *copyGraph) float64 {
+	if g == nil || len(provs) == 1 {
+		sum := 0.0
+		for _, s := range provs {
+			sum += q[s]
+		}
+		return sum
+	}
+	// Rank providers by decreasing accuracy (ties by id) so the most
+	// accurate provider of the value counts fully and likely copiers are
+	// discounted against it.
+	order := make([]dataset.SourceID, len(provs))
+	copy(order, provs)
+	sort.Slice(order, func(i, j int) bool {
+		if st.A[order[i]] != st.A[order[j]] {
+			return st.A[order[i]] > st.A[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	rank := make(map[dataset.SourceID]int, len(order))
+	for i, s := range order {
+		rank[s] = i
+	}
+	sum := 0.0
+	for i, s := range order {
+		ind := 1.0
+		for _, pt := range g.partners[s] {
+			if r, ok := rank[pt.other]; ok && r < i {
+				ind *= 1 - pt.prCopies
+			}
+		}
+		sum += q[s] * ind
+	}
+	return sum
+}
+
+// normalizeVotes turns vote counts into probabilities over the item's
+// domain: the observed values plus max(0, n+1−k) unobserved candidates
+// with vote 0, computed in log space.
+func normalizeVotes(votes []float64, n float64) []float64 {
+	if len(votes) == 0 {
+		return nil
+	}
+	m := 0.0 // unobserved candidates have vote 0
+	for _, v := range votes {
+		if v > m {
+			m = v
+		}
+	}
+	unobserved := n + 1 - float64(len(votes))
+	if unobserved < 0 {
+		unobserved = 0
+	}
+	den := unobserved * math.Exp(-m)
+	for _, v := range votes {
+		den += math.Exp(v - m)
+	}
+	probs := make([]float64, len(votes))
+	for i, v := range votes {
+		probs[i] = math.Exp(v-m) / den
+	}
+	return probs
+}
+
+// Accuracies recomputes A(S) as the average probability of the values the
+// source provides, clamped into [0.01, 0.99].
+func Accuracies(ds *dataset.Dataset, probs [][]float64) []float64 {
+	acc := make([]float64, ds.NumSources())
+	for s := range ds.BySource {
+		obs := ds.BySource[s]
+		if len(obs) == 0 {
+			acc[s] = 0.5
+			continue
+		}
+		sum := 0.0
+		for _, o := range obs {
+			sum += probs[o.Item][o.Value]
+		}
+		acc[s] = sum / float64(len(obs))
+		if acc[s] < 0.01 {
+			acc[s] = 0.01
+		} else if acc[s] > 0.99 {
+			acc[s] = 0.99
+		}
+	}
+	return acc
+}

@@ -1,0 +1,189 @@
+package gen
+
+import (
+	"testing"
+
+	"copydetect/internal/bayes"
+	"copydetect/internal/core"
+	"copydetect/internal/dataset"
+	"copydetect/internal/fusion"
+	"copydetect/internal/metrics"
+)
+
+func TestGenerateValidates(t *testing.T) {
+	for _, cfg := range []Config{
+		Scale(BookCS(1), 0.1),
+		Scale(Stock1Day(2), 0.05),
+	} {
+		ds, pl, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		if err := ds.Validate(); err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		if len(pl.Pairs) == 0 {
+			t.Errorf("%s: no planted pairs", cfg.Name)
+		}
+		if len(pl.TrueAccuracy) != ds.NumSources() {
+			t.Errorf("%s: accuracy vector size mismatch", cfg.Name)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Scale(BookCS(42), 0.1)
+	a, _, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumObservations() != b.NumObservations() {
+		t.Fatal("generation not deterministic")
+	}
+	for s := range a.BySource {
+		if len(a.BySource[s]) != len(b.BySource[s]) {
+			t.Fatal("coverage differs between runs")
+		}
+		for i := range a.BySource[s] {
+			if a.BySource[s][i] != b.BySource[s][i] {
+				t.Fatal("observations differ between runs")
+			}
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, _, err := Generate(Config{NumSources: 1, NumItems: 5, NFalse: 5}); err == nil {
+		t.Error("too few sources should fail")
+	}
+	if _, _, err := Generate(Config{NumSources: 5, NumItems: 5, NFalse: 1}); err == nil {
+		t.Error("NFalse < 2 should fail")
+	}
+	cfg := Config{NumSources: 3, NumItems: 5, NFalse: 5,
+		Groups: []CopyGroup{{Copiers: 5, Selectivity: .8, CopierAccuracy: .3, OverlapWithOrigin: .9}}}
+	if _, _, err := Generate(cfg); err == nil {
+		t.Error("oversized copy group should fail")
+	}
+}
+
+func TestScaleKeepsShape(t *testing.T) {
+	cfg := BookFull(1)
+	small := Scale(cfg, 0.01)
+	if small.NumSources < 4 || small.NumItems < 16 {
+		t.Errorf("scale floor broken: %d sources %d items", small.NumSources, small.NumItems)
+	}
+	if small.LowCoverageMin*float64(small.NumItems) < 1 {
+		t.Errorf("low coverage would round to zero items")
+	}
+	if len(small.Groups) == 0 {
+		t.Error("scaling dropped all copy groups")
+	}
+	if same := Scale(cfg, 1); same.NumSources != cfg.NumSources {
+		t.Error("Scale(1) must be identity")
+	}
+}
+
+// TestStatisticalShape checks the Table V profile of the presets at small
+// scale: Book-like data is dominated by low-coverage sources; Stock-like
+// sources mostly cover more than half the items.
+func TestStatisticalShape(t *testing.T) {
+	book, _, err := Generate(Scale(BookCS(5), 0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	low := 0
+	for s := 0; s < book.NumSources(); s++ {
+		if float64(book.Coverage(dataset.SourceID(s))) < 0.011*float64(book.NumItems()) {
+			low++
+		}
+	}
+	if frac := float64(low) / float64(book.NumSources()); frac < 0.6 {
+		t.Errorf("Book-CS-like: only %.0f%% low-coverage sources, want most", frac*100)
+	}
+
+	stock, _, err := Generate(Scale(Stock1Day(5), 0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	high := 0
+	for s := 0; s < stock.NumSources(); s++ {
+		if float64(stock.Coverage(dataset.SourceID(s))) > 0.5*float64(stock.NumItems()) {
+			high++
+		}
+	}
+	if frac := float64(high) / float64(stock.NumSources()); frac < 0.5 {
+		t.Errorf("Stock-like: only %.0f%% high-coverage sources, want most", frac*100)
+	}
+}
+
+// TestPlantedCopyingIsDetectable is the generator's acceptance test: the
+// iterative process must recover most planted pairs with good precision,
+// otherwise the synthetic workload would not exercise the paper's setting.
+func TestPlantedCopyingIsDetectable(t *testing.T) {
+	cfg := Scale(Stock1Day(3), 0.03) // 55 sources stay, ~480 items
+	cfg.NumSources = 55
+	ds, pl, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := bayes.DefaultParams()
+	out := (&fusion.TruthFinder{Params: p}).Run(ds, &core.Hybrid{Params: p})
+	prf := metrics.SetPRF(out.Copy.CopyingSet(), pl.Pairs)
+	if prf.Recall < 0.7 {
+		t.Errorf("planted-pair recall = %.2f, want >= 0.7 (found %d/%d)", prf.Recall, prf.TruePos, prf.RefPos)
+	}
+	// Detected-but-unplanted pairs can legitimately include transitive
+	// copier-copier pairs inside a clique; precision against the planted
+	// closure is checked loosely.
+	if prf.Precision < 0.3 {
+		t.Errorf("planted-pair precision = %.2f suspiciously low", prf.Precision)
+	}
+	// Fusion should get most gold items right.
+	acc, n := metrics.FusionAccuracy(ds, out.Truth)
+	if n == 0 {
+		t.Fatal("no gold items")
+	}
+	if acc < 0.8 {
+		t.Errorf("fusion accuracy = %.2f, want >= 0.8", acc)
+	}
+}
+
+func TestPairPlanted(t *testing.T) {
+	_, pl, err := Generate(Scale(Stock1Day(3), 0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for k := range pl.Pairs {
+		a, b := dataset.SourceID(k>>32), dataset.SourceID(uint32(k))
+		if !pl.PairPlanted(a, b) || !pl.PairPlanted(b, a) {
+			t.Fatal("PairPlanted must be order-invariant")
+		}
+		found = true
+	}
+	if !found {
+		t.Fatal("no planted pairs to test")
+	}
+	if pl.PairPlanted(1000, 1001) {
+		t.Error("unplanted pair reported planted")
+	}
+}
+
+// TestTruthValueRegistered: value 0 of every item is the true value.
+func TestTruthValueRegistered(t *testing.T) {
+	ds, _, err := Generate(Scale(BookCS(9), 0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Scale(BookCS(9), 0.05)
+	_ = cfg
+	for d := 0; d < ds.NumItems(); d++ {
+		if ds.ValueNames[d][0] != "t" {
+			t.Fatalf("item %d: value 0 is %q, want \"t\"", d, ds.ValueNames[d][0])
+		}
+	}
+}

@@ -1,0 +1,284 @@
+package index
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"copydetect/internal/bayes"
+	"copydetect/internal/dataset"
+)
+
+func exampleParams() bayes.Params { return bayes.Params{Alpha: 0.1, S: 0.8, N: 50} }
+
+// motivatingState builds the statistical state of the paper's Table III:
+// source accuracies from Table I and the converged value probabilities.
+func motivatingState(t testing.TB) (*dataset.Dataset, *bayes.State) {
+	t.Helper()
+	ds, accu := dataset.Motivating()
+	valueCounts := make([]int, ds.NumItems())
+	for d := range valueCounts {
+		valueCounts[d] = ds.NumValues(dataset.ItemID(d))
+	}
+	st := bayes.NewState(valueCounts, ds.NumSources(), 0.8)
+	st.A = accu
+	// Unindexed (single-provider) values keep a neutral probability; they
+	// never appear in shared-value contributions.
+	for d := range st.P {
+		for v := range st.P[d] {
+			st.P[d][v] = 0.5
+		}
+	}
+	for label, pv := range dataset.MotivatingValueProbs() {
+		d, v := dataset.LookupValue(ds, label)
+		if d < 0 {
+			t.Fatalf("label %q not in fixture", label)
+		}
+		st.P[d][v] = pv
+	}
+	return ds, st
+}
+
+// TestBuildTableIII reproduces the inverted index of Table III: 13
+// entries, their probabilities, scores, provider sets and the score order.
+func TestBuildTableIII(t *testing.T) {
+	ds, st := motivatingState(t)
+	idx := Build(ds, st, exampleParams(), ByContribution, nil)
+	if idx.NumEntries() != 13 {
+		t.Fatalf("index has %d entries, want 13", idx.NumEntries())
+	}
+
+	want := []struct {
+		label     string
+		score     float64
+		tol       float64
+		providers []string
+	}{
+		{"AZ.Tempe", 4.59, 0.02, []string{"S5", "S6"}},
+		{"NJ.Atlantic", 4.12, 0.02, []string{"S2", "S3", "S4"}},
+		{"TX.Houston", 4.05, 0.02, []string{"S2", "S4"}},
+		{"NY.NewYork", 4.05, 0.02, []string{"S2", "S3", "S4"}},
+		{"TX.Dallas", 3.98, 0.02, []string{"S6", "S7", "S8"}},
+		{"NY.Buffalo", 3.97, 0.02, []string{"S6", "S7", "S8"}},
+		{"FL.PalmBay", 3.97, 0.02, []string{"S6", "S7", "S8"}},
+		{"FL.Miami", 3.83, 0.02, []string{"S2", "S3"}},
+		{"AZ.Phoenix", 1.62, 0.05, []string{"S0", "S1", "S2", "S3", "S4"}},
+		{"NJ.Trenton", 1.51, 0.02, []string{"S0", "S1", "S7", "S8", "S9"}},
+		{"FL.Orlando", 0.84, 0.02, []string{"S1", "S4", "S5", "S9"}},
+		{"NY.Albany", 0.43, 0.02, []string{"S0", "S1", "S5"}},
+		{"TX.Austin", 0.43, 0.02, []string{"S0", "S1", "S5", "S9"}},
+	}
+	byLabel := make(map[string]*Entry)
+	for i := range idx.Entries {
+		e := &idx.Entries[i]
+		byLabel[ds.ItemNames[e.Item]+"."+ds.ValueNames[e.Item][e.Value]] = e
+	}
+	for _, w := range want {
+		e := byLabel[w.label]
+		if e == nil {
+			t.Errorf("entry %s missing", w.label)
+			continue
+		}
+		if math.Abs(e.Score-w.score) > w.tol {
+			t.Errorf("%s score = %.3f, want %.2f", w.label, e.Score, w.score)
+		}
+		var provs []string
+		for _, s := range e.Providers {
+			provs = append(provs, ds.SourceNames[s])
+		}
+		sort.Strings(provs)
+		sort.Strings(w.providers)
+		if len(provs) != len(w.providers) {
+			t.Errorf("%s providers = %v, want %v", w.label, provs, w.providers)
+			continue
+		}
+		for i := range provs {
+			if provs[i] != w.providers[i] {
+				t.Errorf("%s providers = %v, want %v", w.label, provs, w.providers)
+				break
+			}
+		}
+	}
+	// Scores must be non-increasing under ByContribution.
+	for i := 1; i < len(idx.Entries); i++ {
+		if idx.Entries[i].Score > idx.Entries[i-1].Score+1e-12 {
+			t.Fatalf("entries not sorted by score at %d", i)
+		}
+	}
+	// No entry for single-provider values.
+	for _, label := range []string{"NJ.Union", "AZ.Tucson", "TX.Arlington"} {
+		if byLabel[label] != nil {
+			t.Errorf("single-provider value %s must not be indexed", label)
+		}
+	}
+}
+
+// TestTailSet reproduces Example 3.6: the last two entries (NY.Albany and
+// TX.Austin, 0.43 each) form E̅ since 0.86 < ln(β/2α) = 1.39.
+func TestTailSet(t *testing.T) {
+	ds, st := motivatingState(t)
+	idx := Build(ds, st, exampleParams(), ByContribution, nil)
+	if n := idx.NumTail(); n != 2 {
+		t.Fatalf("tail set has %d entries, want 2", n)
+	}
+	// They must be the two lowest-score entries.
+	if !idx.InTail[len(idx.Entries)-1] || !idx.InTail[len(idx.Entries)-2] {
+		t.Error("tail entries are not the two lowest-score ones")
+	}
+	if idx.TailScoreSum >= exampleParams().ThetaInd() {
+		t.Errorf("tail score sum %.3f must stay below θind", idx.TailScoreSum)
+	}
+}
+
+// TestCandidatePairs reproduces Example 3.6's count: 26 source pairs occur
+// together in entries outside E̅ (e.g. S0,S5 share only tail values and
+// are skipped).
+func TestCandidatePairs(t *testing.T) {
+	ds, st := motivatingState(t)
+	idx := Build(ds, st, exampleParams(), ByContribution, nil)
+	pm := CandidatePairs(idx, ds.NumSources())
+	if pm.Len() != 26 {
+		t.Fatalf("candidate pairs = %d, want 26 (Example 3.6)", pm.Len())
+	}
+	if slot := pm.Get(0, 5); slot != -1 {
+		t.Error("pair (S0,S5) shares only tail values and must be pruned")
+	}
+	if slot := pm.Get(2, 3); slot < 0 {
+		t.Error("pair (S2,S3) must be a candidate")
+	}
+}
+
+// TestSharedItemCounts cross-checks the set-similarity-join counting
+// against the merge-based dataset method.
+func TestSharedItemCounts(t *testing.T) {
+	ds, st := motivatingState(t)
+	idx := Build(ds, st, exampleParams(), ByContribution, nil)
+	pm := CandidatePairs(idx, ds.NumSources())
+	counts := SharedItemCounts(ds, pm)
+	for slot, key := range pm.Keys() {
+		s1, s2 := key.Sources()
+		if want := ds.SharedItems(s1, s2); int(counts[slot]) != want {
+			t.Errorf("l(S%d,S%d) = %d, want %d", s1, s2, counts[slot], want)
+		}
+	}
+}
+
+func TestMaxRemainingSound(t *testing.T) {
+	ds, st := motivatingState(t)
+	for _, ord := range []Order{ByContribution, ByProvider, Random} {
+		idx := Build(ds, st, exampleParams(), ord, rand.New(rand.NewSource(7)))
+		for i := range idx.Entries {
+			maxAfter := 0.0
+			for j := i; j < len(idx.Entries); j++ {
+				if idx.Entries[j].Score > maxAfter {
+					maxAfter = idx.Entries[j].Score
+				}
+			}
+			if math.Abs(idx.MaxRemaining[i]-maxAfter) > 1e-12 {
+				t.Fatalf("order %v: MaxRemaining[%d] = %v, want %v", ord, i, idx.MaxRemaining[i], maxAfter)
+			}
+		}
+		if idx.MaxRemaining[len(idx.Entries)] != 0 {
+			t.Fatalf("MaxRemaining sentinel must be 0")
+		}
+	}
+}
+
+func TestOrderings(t *testing.T) {
+	ds, st := motivatingState(t)
+	p := exampleParams()
+	byProv := Build(ds, st, p, ByProvider, nil)
+	for i := 1; i < len(byProv.Entries); i++ {
+		if len(byProv.Entries[i].Providers) < len(byProv.Entries[i-1].Providers) {
+			t.Fatalf("ByProvider not sorted at %d", i)
+		}
+	}
+	r1 := Build(ds, st, p, Random, rand.New(rand.NewSource(1)))
+	r2 := Build(ds, st, p, Random, rand.New(rand.NewSource(1)))
+	for i := range r1.Entries {
+		if r1.Entries[i].Item != r2.Entries[i].Item || r1.Entries[i].Value != r2.Entries[i].Value {
+			t.Fatal("Random order must be deterministic under the same seed")
+		}
+	}
+	// The tail set is score-defined, identical across orders.
+	byContrib := Build(ds, st, p, ByContribution, nil)
+	if byProv.NumTail() != byContrib.NumTail() || r1.NumTail() != byContrib.NumTail() {
+		t.Errorf("tail size differs across orders: %d %d %d", byContrib.NumTail(), byProv.NumTail(), r1.NumTail())
+	}
+	if ByContribution.String() != "ByContribution" || ByProvider.String() != "ByProvider" || Random.String() != "Random" {
+		t.Error("Order.String broken")
+	}
+}
+
+func TestRescoreInPlace(t *testing.T) {
+	ds, st := motivatingState(t)
+	p := exampleParams()
+	idx := Build(ds, st, p, ByContribution, nil)
+	orderBefore := make([]Entry, len(idx.Entries))
+	copy(orderBefore, idx.Entries)
+
+	st2 := st.Clone()
+	for d := range st2.P {
+		for v := range st2.P[d] {
+			st2.P[d][v] = 0.5
+		}
+	}
+	idx.RescoreInPlace(st2, p)
+	for i := range idx.Entries {
+		if idx.Entries[i].Item != orderBefore[i].Item || idx.Entries[i].Value != orderBefore[i].Value {
+			t.Fatal("RescoreInPlace must not reorder entries")
+		}
+		if idx.Entries[i].P != 0.5 {
+			t.Fatal("RescoreInPlace must refresh P")
+		}
+	}
+	// MaxRemaining must be refreshed consistently.
+	for i := range idx.Entries {
+		maxAfter := 0.0
+		for j := i; j < len(idx.Entries); j++ {
+			if idx.Entries[j].Score > maxAfter {
+				maxAfter = idx.Entries[j].Score
+			}
+		}
+		if math.Abs(idx.MaxRemaining[i]-maxAfter) > 1e-12 {
+			t.Fatalf("MaxRemaining stale at %d", i)
+		}
+	}
+}
+
+func TestPairMapDenseAndSparse(t *testing.T) {
+	for _, n := range []int{10, denseLimit + 1} {
+		pm := NewPairMap(n)
+		slot, added := pm.GetOrAdd(3, 1)
+		if !added || slot != 0 {
+			t.Fatalf("n=%d: first add gave slot %d added %v", n, slot, added)
+		}
+		if s, added := pm.GetOrAdd(1, 3); added || s != 0 {
+			t.Fatalf("n=%d: unordered lookup broken", n)
+		}
+		if pm.Get(1, 3) != 0 || pm.Get(3, 1) != 0 {
+			t.Fatalf("n=%d: Get broken", n)
+		}
+		if pm.Get(0, 2) != -1 {
+			t.Fatalf("n=%d: absent pair should be -1", n)
+		}
+		a, b := pm.Key(0).Sources()
+		if a != 1 || b != 3 {
+			t.Fatalf("n=%d: Key unpack gave (%d,%d)", n, a, b)
+		}
+		if pm.Len() != 1 {
+			t.Fatalf("n=%d: Len = %d", n, pm.Len())
+		}
+	}
+}
+
+func TestMakePairKeyOrderInvariant(t *testing.T) {
+	if MakePairKey(7, 2) != MakePairKey(2, 7) {
+		t.Error("MakePairKey must be order-invariant")
+	}
+	a, b := MakePairKey(7, 2).Sources()
+	if a != 2 || b != 7 {
+		t.Errorf("Sources gave (%d,%d), want (2,7)", a, b)
+	}
+}

@@ -1,0 +1,45 @@
+package index
+
+import "copydetect/internal/dataset"
+
+// CandidatePairs scans the index once and registers every unordered source
+// pair that co-occurs in at least one entry outside the tail set E̅. Only
+// such pairs can accumulate enough evidence for copying (Section III);
+// everything else is pruned without per-pair state. The returned PairMap
+// assigns each candidate a dense slot.
+func CandidatePairs(idx *Index, numSources int) *PairMap {
+	pm := NewPairMap(numSources)
+	for i := range idx.Entries {
+		if idx.InTail[i] {
+			continue
+		}
+		provs := idx.Entries[i].Providers
+		for x := 0; x < len(provs); x++ {
+			for y := x + 1; y < len(provs); y++ {
+				pm.GetOrAdd(provs[x], provs[y])
+			}
+		}
+	}
+	return pm
+}
+
+// SharedItemCounts computes l(S1,S2) — the number of data items covered by
+// both sources — for every pair registered in pm. Rather than a quadratic
+// pairwise merge of source observation lists, it performs a set-similarity
+// self-join in the style of Arasu et al. (VLDB 2006): one pass over the
+// per-item provider lists, incrementing counts only for candidate pairs.
+// The cost is Σ_D |providers(D)|² increments.
+func SharedItemCounts(ds *dataset.Dataset, pm *PairMap) []int32 {
+	counts := make([]int32, pm.Len())
+	for d := range ds.ByItem {
+		svs := ds.ByItem[d]
+		for x := 0; x < len(svs); x++ {
+			for y := x + 1; y < len(svs); y++ {
+				if slot := pm.Get(svs[x].Source, svs[y].Source); slot >= 0 {
+					counts[slot]++
+				}
+			}
+		}
+	}
+	return counts
+}

@@ -1,0 +1,109 @@
+// Package metrics implements the evaluation measures of Section VI:
+// copy-detection precision/recall/F-measure of a method against a
+// reference (the paper compares against PAIRWISE; the synthetic workloads
+// additionally allow comparing against the planted truth), fusion accuracy
+// against a gold standard, fusion difference between two truth
+// assignments, and accuracy variance between two sets of source
+// accuracies.
+package metrics
+
+import (
+	"copydetect/internal/core"
+	"copydetect/internal/dataset"
+)
+
+// PRF holds precision, recall and F-measure.
+type PRF struct {
+	Precision, Recall, F1 float64
+	// TruePos, TestPos and RefPos expose the raw counts.
+	TruePos, TestPos, RefPos int
+}
+
+// CopyPRF compares the copying pairs of test against those of ref:
+// precision is the fraction of test's copying pairs also output by ref,
+// recall the fraction of ref's copying pairs that test found.
+func CopyPRF(test, ref *core.Result) PRF {
+	return SetPRF(test.CopyingSet(), ref.CopyingSet())
+}
+
+// SetPRF compares two pair sets.
+func SetPRF(test, ref map[int64]bool) PRF {
+	prf := PRF{TestPos: len(test), RefPos: len(ref)}
+	for k := range test {
+		if ref[k] {
+			prf.TruePos++
+		}
+	}
+	if prf.TestPos > 0 {
+		prf.Precision = float64(prf.TruePos) / float64(prf.TestPos)
+	}
+	if prf.RefPos > 0 {
+		prf.Recall = float64(prf.TruePos) / float64(prf.RefPos)
+	}
+	if prf.Precision+prf.Recall > 0 {
+		prf.F1 = 2 * prf.Precision * prf.Recall / (prf.Precision + prf.Recall)
+	}
+	return prf
+}
+
+// FusionAccuracy is the fraction of gold-standard items whose decided
+// value matches the truth. Items without gold are skipped; the second
+// return is the number of gold items evaluated.
+func FusionAccuracy(ds *dataset.Dataset, decided []dataset.ValueID) (float64, int) {
+	if ds.Truth == nil {
+		return 0, 0
+	}
+	total, correct := 0, 0
+	for d, t := range ds.Truth {
+		if t == dataset.NoValue {
+			continue
+		}
+		total++
+		if decided[d] == t {
+			correct++
+		}
+	}
+	if total == 0 {
+		return 0, 0
+	}
+	return float64(correct) / float64(total), total
+}
+
+// FusionDifference is the fraction of items (with at least one
+// observation) on which two truth assignments disagree.
+func FusionDifference(a, b []dataset.ValueID) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	n, diff := 0, 0
+	for d := range a {
+		if a[d] == dataset.NoValue && b[d] == dataset.NoValue {
+			continue
+		}
+		n++
+		if a[d] != b[d] {
+			diff++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(diff) / float64(n)
+}
+
+// AccuracyVariance is the mean absolute difference between two source
+// accuracy vectors.
+func AccuracyVariance(a, b []float64) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for s := range a {
+		d := a[s] - b[s]
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	return sum / float64(len(a))
+}

@@ -1,0 +1,95 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"copydetect/internal/core"
+	"copydetect/internal/dataset"
+)
+
+func TestSetPRF(t *testing.T) {
+	test := map[int64]bool{1: true, 2: true, 3: true}
+	ref := map[int64]bool{2: true, 3: true, 4: true, 5: true}
+	prf := SetPRF(test, ref)
+	if prf.TruePos != 2 || prf.TestPos != 3 || prf.RefPos != 4 {
+		t.Fatalf("counts wrong: %+v", prf)
+	}
+	if math.Abs(prf.Precision-2.0/3) > 1e-12 {
+		t.Errorf("precision = %v", prf.Precision)
+	}
+	if math.Abs(prf.Recall-0.5) > 1e-12 {
+		t.Errorf("recall = %v", prf.Recall)
+	}
+	wantF := 2 * (2.0 / 3) * 0.5 / (2.0/3 + 0.5)
+	if math.Abs(prf.F1-wantF) > 1e-12 {
+		t.Errorf("F1 = %v, want %v", prf.F1, wantF)
+	}
+}
+
+func TestSetPRFEmpty(t *testing.T) {
+	prf := SetPRF(nil, nil)
+	if prf.Precision != 0 || prf.Recall != 0 || prf.F1 != 0 {
+		t.Errorf("empty sets should give zeros: %+v", prf)
+	}
+	prf = SetPRF(map[int64]bool{1: true}, nil)
+	if prf.Recall != 0 || prf.Precision != 0 {
+		t.Errorf("no reference positives: %+v", prf)
+	}
+}
+
+func TestCopyPRF(t *testing.T) {
+	mk := func(pairs ...[2]int32) *core.Result {
+		r := &core.Result{NumSources: 10}
+		for _, p := range pairs {
+			r.Pairs = append(r.Pairs, core.PairResult{S1: p[0], S2: p[1], Copying: true})
+		}
+		return r
+	}
+	prf := CopyPRF(mk([2]int32{1, 2}, [2]int32{3, 4}), mk([2]int32{1, 2}))
+	if prf.TruePos != 1 || prf.Precision != 0.5 || prf.Recall != 1 {
+		t.Errorf("CopyPRF: %+v", prf)
+	}
+}
+
+func TestFusionAccuracy(t *testing.T) {
+	ds := &dataset.Dataset{
+		ItemNames: []string{"a", "b", "c"},
+		Truth:     []dataset.ValueID{0, 1, dataset.NoValue},
+	}
+	decided := []dataset.ValueID{0, 0, 5}
+	acc, n := FusionAccuracy(ds, decided)
+	if n != 2 {
+		t.Fatalf("gold items = %d, want 2", n)
+	}
+	if math.Abs(acc-0.5) > 1e-12 {
+		t.Errorf("accuracy = %v, want 0.5", acc)
+	}
+	ds.Truth = nil
+	if _, n := FusionAccuracy(ds, decided); n != 0 {
+		t.Error("no gold standard should give n=0")
+	}
+}
+
+func TestFusionDifference(t *testing.T) {
+	a := []dataset.ValueID{0, 1, 2, dataset.NoValue}
+	b := []dataset.ValueID{0, 2, 2, dataset.NoValue}
+	if d := FusionDifference(a, b); math.Abs(d-1.0/3) > 1e-12 {
+		t.Errorf("difference = %v, want 1/3", d)
+	}
+	if d := FusionDifference(a, a); d != 0 {
+		t.Errorf("self difference = %v", d)
+	}
+	if d := FusionDifference(nil, nil); d != 0 {
+		t.Errorf("empty difference = %v", d)
+	}
+}
+
+func TestAccuracyVariance(t *testing.T) {
+	if v := AccuracyVariance([]float64{0.5, 0.7}, []float64{0.6, 0.5}); math.Abs(v-0.15) > 1e-12 {
+		t.Errorf("variance = %v, want 0.15", v)
+	}
+	if v := AccuracyVariance(nil, nil); v != 0 {
+		t.Errorf("empty variance = %v", v)
+	}
+}

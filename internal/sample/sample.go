@@ -1,0 +1,122 @@
+// Package sample implements the three item-sampling strategies evaluated
+// in Section VI: BYITEM (SAMPLE1's plain random item sample), BYCELL
+// (SAMPLE2's sample-until-cell-budget), and SCALESAMPLE, the paper's
+// coverage-aware strategy that guarantees a minimum number of sampled
+// items per source so low-coverage sources still contribute evidence.
+package sample
+
+import (
+	"math/rand"
+
+	"copydetect/internal/dataset"
+)
+
+// Result is a sampled dataset together with the mapping from its item ids
+// back to the full dataset's, and the realized sampling rates the paper
+// reports (fraction of items and of non-empty cells retained).
+type Result struct {
+	Dataset  *dataset.Dataset
+	ItemMap  []dataset.ItemID
+	ItemRate float64
+	CellRate float64
+}
+
+// ByItem samples each item independently: a plain random subset of
+// rate·|D| items (SAMPLE1 / BYITEM).
+func ByItem(ds *dataset.Dataset, rate float64, rng *rand.Rand) Result {
+	n := ds.NumItems()
+	want := int(rate * float64(n))
+	if want < 1 {
+		want = 1
+	}
+	if want > n {
+		want = n
+	}
+	perm := rng.Perm(n)
+	items := make([]dataset.ItemID, want)
+	for i := 0; i < want; i++ {
+		items[i] = dataset.ItemID(perm[i])
+	}
+	return finish(ds, items)
+}
+
+// ByCell samples random items until the retained non-empty cells reach
+// cellRate of the dataset's non-empty cells (SAMPLE2 / BYCELL).
+func ByCell(ds *dataset.Dataset, cellRate float64, rng *rand.Rand) Result {
+	total := ds.NumObservations()
+	target := int(cellRate * float64(total))
+	perm := rng.Perm(ds.NumItems())
+	var items []dataset.ItemID
+	got := 0
+	for _, d := range perm {
+		if got >= target && len(items) > 0 {
+			break
+		}
+		items = append(items, dataset.ItemID(d))
+		got += len(ds.ByItem[d])
+	}
+	return finish(ds, items)
+}
+
+// ScaleSample samples rate·|D| items like ByItem, then tops up: every
+// source left with fewer than minPerSource sampled items gets additional
+// random items from its own coverage (when it has that many), so that even
+// low-coverage sources keep enough shared evidence for copy detection.
+// The paper uses minPerSource N = 4.
+func ScaleSample(ds *dataset.Dataset, rate float64, minPerSource int, rng *rand.Rand) Result {
+	n := ds.NumItems()
+	want := int(rate * float64(n))
+	if want < 1 {
+		want = 1
+	}
+	if want > n {
+		want = n
+	}
+	perm := rng.Perm(n)
+	chosen := make([]bool, n)
+	var items []dataset.ItemID
+	for i := 0; i < want; i++ {
+		chosen[perm[i]] = true
+		items = append(items, dataset.ItemID(perm[i]))
+	}
+	// Top-up pass per source.
+	for s := range ds.BySource {
+		obs := ds.BySource[s]
+		have := 0
+		for _, o := range obs {
+			if chosen[o.Item] {
+				have++
+			}
+		}
+		need := minPerSource - have
+		if need <= 0 {
+			continue
+		}
+		// Random order over the source's own items.
+		idxs := rng.Perm(len(obs))
+		for _, i := range idxs {
+			if need == 0 {
+				break
+			}
+			d := obs[i].Item
+			if !chosen[d] {
+				chosen[d] = true
+				items = append(items, d)
+				need--
+			}
+		}
+	}
+	return finish(ds, items)
+}
+
+func finish(ds *dataset.Dataset, items []dataset.ItemID) Result {
+	sub, itemMap := dataset.SubsetItems(ds, items)
+	r := Result{Dataset: sub, ItemMap: itemMap}
+	if n := ds.NumItems(); n > 0 {
+		r.ItemRate = float64(len(items)) / float64(n)
+	}
+	if total := ds.NumObservations(); total > 0 {
+		r.CellRate = float64(sub.NumObservations()) / float64(total)
+	}
+	return r
+}
