@@ -302,6 +302,47 @@ func name(workers int) string {
 	return "workers" + itoa(workers)
 }
 
+// BenchmarkHybridWorkers measures the parallel detection engine on the
+// Stock-2wk-scale workload: one HYBRID round at increasing worker counts.
+// Results are bit-identical across worker counts (see
+// internal/core/parallel_equiv_test.go), so the only thing this varies is
+// wall-clock time; the speedup at 4 workers is the cross-PR scaling
+// regression gauge.
+func BenchmarkHybridWorkers(b *testing.B) {
+	p := bayes.DefaultParams()
+	inst := benchDataset(b, "stock-2wk")
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(name(workers), func(b *testing.B) {
+			det := &core.Hybrid{Params: p, Opts: core.Options{Workers: workers}}
+			det.DetectRound(inst.ds, inst.st, 1) // warm the structural cache
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				det.DetectRound(inst.ds, inst.st, 2+i)
+			}
+		})
+	}
+}
+
+// BenchmarkIncrementalWorkers measures one incremental round (round >= 3,
+// the steady-state cost of the iterative process) at increasing worker
+// counts on the Stock-2wk-scale workload.
+func BenchmarkIncrementalWorkers(b *testing.B) {
+	p := bayes.DefaultParams()
+	inst := benchDataset(b, "stock-2wk")
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(name(workers), func(b *testing.B) {
+			det := &core.Incremental{Params: p, Opts: core.Options{Workers: workers}}
+			// Warm rounds outside the measured loop.
+			det.DetectRound(inst.ds, inst.st, 1)
+			det.DetectRound(inst.ds, inst.st, 2)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				det.DetectRound(inst.ds, inst.st, 3+i)
+			}
+		})
+	}
+}
+
 // BenchmarkAblation_HybridThreshold sweeps HYBRID's share threshold (the
 // paper picked 16 empirically).
 func BenchmarkAblation_HybridThreshold(b *testing.B) {

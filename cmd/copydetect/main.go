@@ -6,7 +6,12 @@
 // Usage:
 //
 //	copydetect -in data.json [-format json|csv] [-algo hybrid]
-//	           [-alpha 0.1] [-s 0.8] [-n 100] [-truths] [-v]
+//	           [-alpha 0.1] [-s 0.8] [-n 100] [-workers 0] [-truths] [-v]
+//
+// -workers 0 (the default) uses one worker per available CPU; 1 forces
+// sequential detection; any N > 1 shards detection over N goroutines.
+// Every setting produces identical output — parallel detection is
+// deterministic — so -workers only trades wall-clock time for cores.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"time"
 
 	"copydetect"
+	"copydetect/internal/pool"
 )
 
 func main() {
@@ -27,6 +33,7 @@ func main() {
 	alpha := flag.Float64("alpha", 0.1, "a-priori copying probability α")
 	s := flag.Float64("s", 0.8, "copy selectivity s")
 	n := flag.Float64("n", 100, "number of false values per item n")
+	workers := flag.Int("workers", 0, "detection worker goroutines (0 = one per CPU, 1 = sequential)")
 	truths := flag.Bool("truths", false, "print the decided truth of every item")
 	verbose := flag.Bool("v", false, "print per-round statistics")
 	flag.Parse()
@@ -67,8 +74,11 @@ func main() {
 	}
 	fmt.Printf("dataset: %s\n", copydetect.Summarize(ds))
 
+	if *workers <= 0 {
+		*workers = pool.Auto()
+	}
 	start := time.Now()
-	out := copydetect.Detect(ds, algo, p)
+	out := copydetect.DetectWithOptions(ds, algo, p, copydetect.Options{Workers: *workers})
 	elapsed := time.Since(start)
 
 	pairs := out.Copy.CopyingPairs()

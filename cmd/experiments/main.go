@@ -3,11 +3,15 @@
 //
 // Usage:
 //
-//	experiments [-run all|motivating|table5|...|figure3] [-scale 0.2] [-seed 1]
+//	experiments [-run all|motivating|table5|...|figure3] [-scale 0.2]
+//	            [-seed 1] [-workers 0]
 //
 // -scale 1 uses the paper's dataset sizes; the default 0.2 keeps the
-// slowest baseline (PAIRWISE on Book-full) tractable. See EXPERIMENTS.md
-// for recorded paper-vs-measured results.
+// slowest baseline (PAIRWISE on Book-full) tractable. -workers 0 (the
+// default) shards copy detection over one goroutine per CPU; detection is
+// deterministic, so the tables are identical for every worker count and
+// only the wall-clock columns change. See EXPERIMENTS.md for recorded
+// paper-vs-measured results.
 package main
 
 import (
@@ -17,19 +21,25 @@ import (
 	"strings"
 
 	"copydetect/internal/experiments"
+	"copydetect/internal/pool"
 )
 
 func main() {
 	runID := flag.String("run", "all", "experiment id: "+strings.Join(experiments.IDs(), ", ")+", or all")
 	scale := flag.Float64("scale", 0.2, "dataset scale factor (1 = paper sizes)")
 	seed := flag.Int64("seed", 1, "random seed for dataset generation and sampling")
+	workers := flag.Int("workers", 0, "detection worker goroutines (0 = one per CPU, 1 = sequential)")
 	flag.Parse()
 
 	if *scale <= 0 || *scale > 4 {
 		fmt.Fprintf(os.Stderr, "experiments: -scale %v out of (0, 4]\n", *scale)
 		os.Exit(2)
 	}
+	if *workers <= 0 {
+		*workers = pool.Auto()
+	}
 	env := experiments.NewEnv(os.Stdout, *scale, *seed)
+	env.Workers = *workers
 	if err := env.Run(*runID); err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)

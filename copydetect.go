@@ -172,8 +172,16 @@ func NewDetector(a Algorithm, p Params, opts Options) Detector {
 // Detect runs the full iterative copy-detection and truth-finding process
 // on ds with the chosen algorithm and default driver settings.
 func Detect(ds *Dataset, a Algorithm, p Params) *Outcome {
+	return DetectWithOptions(ds, a, p, Options{})
+}
+
+// DetectWithOptions is Detect with explicit detector options — most
+// usefully Options{Workers: N}, which shards detection over N goroutines
+// for every algorithm in the family. Results are bit-identical to the
+// sequential run for any worker count; see Options.Workers.
+func DetectWithOptions(ds *Dataset, a Algorithm, p Params, opts Options) *Outcome {
 	tf := &TruthFinder{Params: p}
-	return tf.Run(ds, NewDetector(a, p, Options{}))
+	return tf.Run(ds, NewDetector(a, p, opts))
 }
 
 // DetectSampled runs the iterative process with copy detection restricted
@@ -181,8 +189,14 @@ func Detect(ds *Dataset, a Algorithm, p Params) *Outcome {
 // dataset — the paper's SCALESAMPLE configuration when combined with
 // AlgorithmIncremental.
 func DetectSampled(ds *Dataset, s SampleResult, a Algorithm, p Params) *Outcome {
+	return DetectSampledWithOptions(ds, s, a, p, Options{})
+}
+
+// DetectSampledWithOptions is DetectSampled with explicit detector
+// options, e.g. Options{Workers: N} for parallel detection.
+func DetectSampledWithOptions(ds *Dataset, s SampleResult, a Algorithm, p Params, opts Options) *Outcome {
 	tf := &TruthFinder{Params: p, DetectDataset: s.Dataset, ItemMap: s.ItemMap}
-	return tf.Run(ds, NewDetector(a, p, Options{}))
+	return tf.Run(ds, NewDetector(a, p, opts))
 }
 
 // ScaleSample draws the paper's coverage-aware sample: rate·|items| random

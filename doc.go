@@ -34,6 +34,20 @@
 // Fagin-NRA baseline, and a harness regenerating every table and figure
 // of the paper's evaluation (cmd/experiments).
 //
+// # Parallelism
+//
+// Every detector in the family parallelizes over a goroutine pool via
+// Options{Workers: N} (the paper's Section VIII extension): the entry
+// scan of INDEX/BOUND/BOUND+/HYBRID is sharded across the pair space,
+// and INCREMENTAL fans out its base-score computation, entry
+// classification and pass 1–3 re-examination. Parallel detection is
+// deterministic — results are bit-identical to the sequential run for
+// every worker count, because pair ownership, accumulation order and
+// merge order are all fixed functions of the data (see DESIGN.md).
+// Workers is a shard count rather than a core count; the CLIs default to
+// one worker per CPU. Use DetectWithOptions to pass it through the
+// one-call API.
+//
 // # Quick start
 //
 //	b := copydetect.NewBuilder()

@@ -1,0 +1,3 @@
+module copydetect
+
+go 1.21

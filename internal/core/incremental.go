@@ -8,6 +8,7 @@ import (
 	"copydetect/internal/bayes"
 	"copydetect/internal/dataset"
 	"copydetect/internal/index"
+	"copydetect/internal/pool"
 )
 
 // Incremental is the iterative algorithm of Section V. The first
@@ -218,30 +219,49 @@ func (d *Incremental) prepare(ds *dataset.Dataset, st *bayes.State, stats *Stats
 		}
 	}
 	for i := range d.idx.Entries {
-		e := &d.idx.Entries[i]
-		d.baseScore[i] = e.Score
-		provs := e.Providers
-		for x := 0; x < len(provs); x++ {
-			for y := x + 1; y < len(provs); y++ {
-				slot := d.pm.Get(provs[x], provs[y])
-				if slot < 0 {
+		d.baseScore[i] = d.idx.Entries[i].Score
+	}
+	// The exact base-score accumulation is the same double loop as the
+	// entry scan, so it shards the same way: each worker owns the pairs
+	// whose smaller source id falls in its shard and visits the entries in
+	// index order, making the per-slot sums bit-identical to a sequential
+	// pass for every worker count.
+	workers := pool.Clamp(d.Opts.Workers)
+	for _, comps := range pool.Shards(workers, func(w int) int64 {
+		var comps int64
+		for i := range d.idx.Entries {
+			e := &d.idx.Entries[i]
+			provs := e.Providers
+			for x := 0; x < len(provs); x++ {
+				if !pool.Owns(workers, w, int(provs[x])) {
 					continue
 				}
-				d.cTo[slot] += p.ContribSameDist(e.P, e.Pop, st.A[provs[x]], st.A[provs[y]])
-				d.cFrom[slot] += p.ContribSameDist(e.P, e.Pop, st.A[provs[y]], st.A[provs[x]])
-				d.n[slot]++
-				stats.Computations += 2
+				for y := x + 1; y < len(provs); y++ {
+					slot := d.pm.Get(provs[x], provs[y])
+					if slot < 0 {
+						continue
+					}
+					d.cTo[slot] += p.ContribSameDist(e.P, e.Pop, st.A[provs[x]], st.A[provs[y]])
+					d.cFrom[slot] += p.ContribSameDist(e.P, e.Pop, st.A[provs[y]], st.A[provs[x]])
+					d.n[slot]++
+					comps += 2
+				}
 			}
 		}
+		return comps
+	}) {
+		stats.Computations += comps
 	}
 	lnDiff := p.LnDiff()
-	for slot := 0; slot < np; slot++ {
-		diff := float64(d.l[slot] - d.n[slot])
-		d.cTo[slot] += diff * lnDiff
-		d.cFrom[slot] += diff * lnDiff
-		stats.Computations += 2
-		d.copying[slot] = p.PrIndep(d.cTo[slot], d.cFrom[slot]) <= 0.5
-	}
+	pool.Run(workers, func(w int) {
+		for slot := w; slot < np; slot += workers {
+			diff := float64(d.l[slot] - d.n[slot])
+			d.cTo[slot] += diff * lnDiff
+			d.cFrom[slot] += diff * lnDiff
+			d.copying[slot] = p.PrIndep(d.cTo[slot], d.cFrom[slot]) <= 0.5
+		}
+	})
+	stats.Computations += 2 * int64(np)
 	d.dNegTo = make([]float64, np)
 	d.dPosTo = make([]float64, np)
 	d.dNegFrom = make([]float64, np)
@@ -263,20 +283,25 @@ func (d *Incremental) incrementalRound(ds *dataset.Dataset, st *bayes.State) *Re
 
 	// Entry classification: drift of M̂ since the base, holding provider
 	// accuracies at their base values to isolate value-probability change.
-	accBuf := make([]float64, 0, 16)
+	// Each entry's drift is a pure function of the entry, so workers take
+	// a strided slice of the entry range and write disjoint slots.
+	workers := pool.Clamp(d.Opts.Workers)
 	deltas := make([]float64, len(d.idx.Entries))
 	absDeltas := make([]float64, len(d.idx.Entries))
-	for i := range d.idx.Entries {
-		e := &d.idx.Entries[i]
-		accBuf = accBuf[:0]
-		for _, s := range e.Providers {
-			accBuf = append(accBuf, d.base.A[s])
+	pool.Run(workers, func(w int) {
+		accBuf := make([]float64, 0, 16)
+		for i := w; i < len(d.idx.Entries); i += workers {
+			e := &d.idx.Entries[i]
+			accBuf = accBuf[:0]
+			for _, s := range e.Providers {
+				accBuf = append(accBuf, d.base.A[s])
+			}
+			pNew := st.P[e.Item][e.Value]
+			deltas[i] = p.MaxEntryScoreDist(pNew, e.Pop, accBuf) - d.baseScore[i]
+			absDeltas[i] = math.Abs(deltas[i])
 		}
-		pNew := st.P[e.Item][e.Value]
-		deltas[i] = p.MaxEntryScoreDist(pNew, e.Pop, accBuf) - d.baseScore[i]
-		absDeltas[i] = math.Abs(deltas[i])
-		res.Stats.Computations++
-	}
+	})
+	res.Stats.Computations += int64(len(d.idx.Entries))
 	rhoV := d.RhoV
 	if rhoV == 0 {
 		rhoV = adaptiveRhoV(absDeltas)
@@ -331,104 +356,138 @@ func (d *Incremental) incrementalRound(ds *dataset.Dataset, st *bayes.State) *Re
 	// V-B), so the ∆ρ estimates below multiply the true counts rather than
 	// the pair's total shared values. Entries whose score did not move at
 	// all (the vast majority after convergence sets in) are skipped.
+	// Parallel: the per-pair delta accumulators shard exactly like the
+	// entry scan (owner = smaller source id mod workers, entries visited
+	// in index order), and each worker collects the pairs it touched into
+	// a private list merged in shard order afterwards.
 	const noise = 1e-6
-	for i := range d.idx.Entries {
-		if absDeltas[i] <= noise {
-			continue
-		}
-		big := absDeltas[i] >= rhoV
-		e := &d.idx.Entries[i]
-		provs := e.Providers
-		var pOld, pNew float64
-		if big {
-			pOld = d.base.P[e.Item][e.Value]
-			pNew = st.P[e.Item][e.Value]
-		}
-		dec := deltas[i] < 0
-		for x := 0; x < len(provs); x++ {
-			for y := x + 1; y < len(provs); y++ {
-				slot := d.pm.Get(provs[x], provs[y])
-				if slot < 0 {
+	type passADelta struct {
+		touched []int32
+		comps   int64
+	}
+	for _, sh := range pool.Shards(workers, func(w int) passADelta {
+		var sh passADelta
+		for i := range d.idx.Entries {
+			if absDeltas[i] <= noise {
+				continue
+			}
+			big := absDeltas[i] >= rhoV
+			e := &d.idx.Entries[i]
+			provs := e.Providers
+			var pOld, pNew float64
+			if big {
+				pOld = d.base.P[e.Item][e.Value]
+				pNew = st.P[e.Item][e.Value]
+			}
+			dec := deltas[i] < 0
+			for x := 0; x < len(provs); x++ {
+				if !pool.Owns(workers, w, int(provs[x])) {
 					continue
 				}
-				if !d.isTouched[slot] {
-					d.isTouched[slot] = true
-					d.touched = append(d.touched, slot)
-				}
-				if !big {
-					if dec {
-						d.smallDec[slot]++
-					} else {
-						d.smallInc[slot]++
+				for y := x + 1; y < len(provs); y++ {
+					slot := d.pm.Get(provs[x], provs[y])
+					if slot < 0 {
+						continue
 					}
-					continue
-				}
-				a1, a2 := d.base.A[provs[x]], d.base.A[provs[y]]
-				dTo := p.ContribSameDist(pNew, e.Pop, a1, a2) - p.ContribSameDist(pOld, e.Pop, a1, a2)
-				dFrom := p.ContribSameDist(pNew, e.Pop, a2, a1) - p.ContribSameDist(pOld, e.Pop, a2, a1)
-				res.Stats.Computations += 2
-				if dTo < 0 {
-					d.dNegTo[slot] += dTo
-				} else {
-					d.dPosTo[slot] += dTo
-				}
-				if dFrom < 0 {
-					d.dNegFrom[slot] += dFrom
-				} else {
-					d.dPosFrom[slot] += dFrom
+					if !d.isTouched[slot] {
+						d.isTouched[slot] = true
+						sh.touched = append(sh.touched, slot)
+					}
+					if !big {
+						if dec {
+							d.smallDec[slot]++
+						} else {
+							d.smallInc[slot]++
+						}
+						continue
+					}
+					a1, a2 := d.base.A[provs[x]], d.base.A[provs[y]]
+					dTo := p.ContribSameDist(pNew, e.Pop, a1, a2) - p.ContribSameDist(pOld, e.Pop, a1, a2)
+					dFrom := p.ContribSameDist(pNew, e.Pop, a2, a1) - p.ContribSameDist(pOld, e.Pop, a2, a1)
+					sh.comps += 2
+					if dTo < 0 {
+						d.dNegTo[slot] += dTo
+					} else {
+						d.dPosTo[slot] += dTo
+					}
+					if dFrom < 0 {
+						d.dNegFrom[slot] += dFrom
+					} else {
+						d.dPosFrom[slot] += dFrom
+					}
 				}
 			}
 		}
+		return sh
+	}) {
+		d.touched = append(d.touched, sh.touched...)
+		res.Stats.Computations += sh.comps
 	}
 
-	// Passes 1–3 per pair.
+	// Passes 1–3 per pair. Pairs are independent here — each reads only
+	// its own slot state and writes only its own decision — so workers
+	// take a strided slice of the slot range; pass counters and stats are
+	// accumulated per worker and summed in shard order.
 	thetaCp, thetaInd := p.ThetaCp(), p.ThetaInd()
-	for slot := 0; slot < np(d); slot++ {
-		s1, s2 := d.pm.Key(int32(slot)).Sources()
-		needExact := bigAcc[s1] || bigAcc[s2]
-		if !needExact {
-			decBound := dRhoDec * float64(d.smallDec[slot])
-			incBound := dRhoInc * float64(d.smallInc[slot])
-			if d.copying[slot] {
-				// Pass 1: adversarial view — exact big decreases plus the
-				// worst-case estimate of the pair's small decreases.
-				cand := math.Max(d.cTo[slot]+d.dNegTo[slot], d.cFrom[slot]+d.dNegFrom[slot]) - decBound
-				res.Stats.Computations++
-				if cand >= thetaCp {
-					d.LastPass.SettledPass1++
-					continue
-				}
-				// Pass 2: compensate with the exact big increases.
-				cand = math.Max(d.cTo[slot]+d.dNegTo[slot]+d.dPosTo[slot],
-					d.cFrom[slot]+d.dNegFrom[slot]+d.dPosFrom[slot]) - decBound
-				res.Stats.Computations++
-				if cand >= thetaCp {
-					d.LastPass.SettledPass2++
-					continue
-				}
-			} else {
-				// Pass 1 for no-copying pairs: adversarial increases.
-				cTo := d.cTo[slot] + d.dPosTo[slot] + incBound
-				cFrom := d.cFrom[slot] + d.dPosFrom[slot] + incBound
-				res.Stats.Computations++
-				if cTo < thetaInd && cFrom < thetaInd {
-					d.LastPass.SettledPass1++
-					continue
-				}
-				// Pass 2: compensate with the exact big decreases.
-				cTo += d.dNegTo[slot]
-				cFrom += d.dNegFrom[slot]
-				res.Stats.Computations++
-				if cTo < thetaInd && cFrom < thetaInd {
-					d.LastPass.SettledPass2++
-					continue
+	type passOut struct {
+		pass  PassStats
+		stats Stats
+	}
+	for _, sh := range pool.Shards(workers, func(w int) passOut {
+		var out passOut
+		for slot := w; slot < np(d); slot += workers {
+			s1, s2 := d.pm.Key(int32(slot)).Sources()
+			needExact := bigAcc[s1] || bigAcc[s2]
+			if !needExact {
+				decBound := dRhoDec * float64(d.smallDec[slot])
+				incBound := dRhoInc * float64(d.smallInc[slot])
+				if d.copying[slot] {
+					// Pass 1: adversarial view — exact big decreases plus the
+					// worst-case estimate of the pair's small decreases.
+					cand := math.Max(d.cTo[slot]+d.dNegTo[slot], d.cFrom[slot]+d.dNegFrom[slot]) - decBound
+					out.stats.Computations++
+					if cand >= thetaCp {
+						out.pass.SettledPass1++
+						continue
+					}
+					// Pass 2: compensate with the exact big increases.
+					cand = math.Max(d.cTo[slot]+d.dNegTo[slot]+d.dPosTo[slot],
+						d.cFrom[slot]+d.dNegFrom[slot]+d.dPosFrom[slot]) - decBound
+					out.stats.Computations++
+					if cand >= thetaCp {
+						out.pass.SettledPass2++
+						continue
+					}
+				} else {
+					// Pass 1 for no-copying pairs: adversarial increases.
+					cTo := d.cTo[slot] + d.dPosTo[slot] + incBound
+					cFrom := d.cFrom[slot] + d.dPosFrom[slot] + incBound
+					out.stats.Computations++
+					if cTo < thetaInd && cFrom < thetaInd {
+						out.pass.SettledPass1++
+						continue
+					}
+					// Pass 2: compensate with the exact big decreases.
+					cTo += d.dNegTo[slot]
+					cFrom += d.dNegFrom[slot]
+					out.stats.Computations++
+					if cTo < thetaInd && cFrom < thetaInd {
+						out.pass.SettledPass2++
+						continue
+					}
 				}
 			}
+			// Pass 3: exact recomputation against the current state.
+			out.pass.SettledPass3++
+			cTo, cFrom := d.exactPair(ds, st, s1, s2, &out.stats)
+			d.copying[slot], _, _, _ = decide(p, cTo, cFrom)
 		}
-		// Pass 3: exact recomputation against the current state.
-		d.LastPass.SettledPass3++
-		cTo, cFrom := d.exactPair(ds, st, s1, s2, &res.Stats)
-		d.copying[slot], _, _, _ = decide(p, cTo, cFrom)
+		return out
+	}) {
+		d.LastPass.SettledPass1 += sh.pass.SettledPass1
+		d.LastPass.SettledPass2 += sh.pass.SettledPass2
+		d.LastPass.SettledPass3 += sh.pass.SettledPass3
+		res.Stats.Add(sh.stats)
 	}
 
 	d.emit(res)
@@ -486,21 +545,29 @@ func (d *Incremental) exactPair(ds *dataset.Dataset, st *bayes.State, s1, s2 dat
 }
 
 // emit materializes the per-pair results from the stored decisions and the
-// best available score estimates.
+// best available score estimates. The output slice is indexed by pair
+// slot, so the strided parallel fill yields the same ordering as a
+// sequential walk for every worker count.
 func (d *Incremental) emit(res *Result) {
 	p := d.Params
-	for slot := 0; slot < np(d); slot++ {
-		s1, s2 := d.pm.Key(int32(slot)).Sources()
-		cTo := d.cTo[slot] + d.dNegTo[slot] + d.dPosTo[slot]
-		cFrom := d.cFrom[slot] + d.dNegFrom[slot] + d.dPosFrom[slot]
-		prIndep, prTo, prFrom := p.Posterior(cTo, cFrom)
-		res.Pairs = append(res.Pairs, PairResult{
-			S1: s1, S2: s2, CTo: cTo, CFrom: cFrom,
-			PrIndep: prIndep, PrTo: prTo, PrFrom: prFrom,
-			Copying: d.copying[slot],
-		})
-	}
-	res.Stats.PairsConsidered += int64(np(d))
+	numPairs := np(d)
+	pairs := make([]PairResult, numPairs)
+	workers := pool.Clamp(d.Opts.Workers)
+	pool.Run(workers, func(w int) {
+		for slot := w; slot < numPairs; slot += workers {
+			s1, s2 := d.pm.Key(int32(slot)).Sources()
+			cTo := d.cTo[slot] + d.dNegTo[slot] + d.dPosTo[slot]
+			cFrom := d.cFrom[slot] + d.dNegFrom[slot] + d.dPosFrom[slot]
+			prIndep, prTo, prFrom := p.Posterior(cTo, cFrom)
+			pairs[slot] = PairResult{
+				S1: s1, S2: s2, CTo: cTo, CFrom: cFrom,
+				PrIndep: prIndep, PrTo: prTo, PrFrom: prFrom,
+				Copying: d.copying[slot],
+			}
+		}
+	})
+	res.Pairs = pairs
+	res.Stats.PairsConsidered += int64(numPairs)
 }
 
 func np(d *Incremental) int { return d.pm.Len() }

@@ -1,12 +1,11 @@
 package core
 
 import (
-	"runtime"
-	"sync"
 	"time"
 
 	"copydetect/internal/bayes"
 	"copydetect/internal/dataset"
+	"copydetect/internal/pool"
 )
 
 // Pairwise is the exhaustive baseline of Dong et al. (VLDB 2009) as
@@ -18,7 +17,8 @@ type Pairwise struct {
 	Params bayes.Params
 	// Workers > 1 distributes pairs over a goroutine pool, the natural
 	// (but per the paper still inferior) parallelization baseline
-	// mentioned in Section VIII. 0 or 1 means sequential.
+	// mentioned in Section VIII. 0 or 1 means sequential; any value
+	// produces results identical to sequential (see internal/pool).
 	Workers int
 }
 
@@ -32,13 +32,7 @@ func (pw *Pairwise) DetectRound(ds *dataset.Dataset, st *bayes.State, round int)
 	res := &Result{NumSources: ns}
 	res.Stats.Rounds = 1
 
-	workers := pw.Workers
-	if workers <= 0 {
-		workers = 1
-	}
-	if workers > runtime.GOMAXPROCS(0) {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers := pool.Clamp(pw.Workers)
 	if workers == 1 {
 		for s1 := dataset.SourceID(0); int(s1) < ns; s1++ {
 			for s2 := s1 + 1; int(s2) < ns; s2++ {
@@ -46,31 +40,27 @@ func (pw *Pairwise) DetectRound(ds *dataset.Dataset, st *bayes.State, round int)
 			}
 		}
 	} else {
-		type shard struct {
-			pairs []PairResult
-			stats Stats
-		}
-		shards := make([]shard, workers)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				local := &Result{NumSources: ns}
-				for s1 := dataset.SourceID(w); int(s1) < ns; s1 += dataset.SourceID(workers) {
-					for s2 := s1 + 1; int(s2) < ns; s2++ {
-						pw.detectPair(ds, st, s1, s2, local)
-					}
+		// Workers own strided rows of the pair triangle (all pairs with a
+		// given smaller source id). Each row's results are kept separate
+		// and concatenated in row order afterwards, so Result.Pairs is
+		// ordered exactly as the sequential double loop produces it.
+		rows := make([][]PairResult, ns)
+		for _, stats := range pool.Shards(workers, func(w int) Stats {
+			var stats Stats
+			for s1 := dataset.SourceID(w); int(s1) < ns; s1 += dataset.SourceID(workers) {
+				row := &Result{NumSources: ns}
+				for s2 := s1 + 1; int(s2) < ns; s2++ {
+					pw.detectPair(ds, st, s1, s2, row)
 				}
-				shards[w] = shard{pairs: local.Pairs, stats: local.Stats}
-			}(w)
+				rows[s1] = row.Pairs
+				stats.Add(row.Stats)
+			}
+			return stats
+		}) {
+			res.Stats.Add(stats)
 		}
-		wg.Wait()
-		for _, sh := range shards {
-			res.Pairs = append(res.Pairs, sh.pairs...)
-			res.Stats.Computations += sh.stats.Computations
-			res.Stats.PairsConsidered += sh.stats.PairsConsidered
-			res.Stats.ValuesExamined += sh.stats.ValuesExamined
+		for _, row := range rows {
+			res.Pairs = append(res.Pairs, row...)
 		}
 	}
 	res.Stats.Detect = time.Since(start)

@@ -1,130 +1,46 @@
 package core
 
 import (
-	"runtime"
-	"sync"
-	"time"
-
 	"copydetect/internal/bayes"
 	"copydetect/internal/dataset"
 	"copydetect/internal/index"
+	"copydetect/internal/pool"
 )
 
-// parallelIndexRound is the Section VIII extension: parallelize the score
-// computation for the pairs inside each index entry. Each worker scans the
-// whole index but owns a disjoint shard of the pair space (sharded by the
-// smaller source id), so all per-pair state stays single-writer and no
-// locks are needed on the hot path. This mirrors the paper's first
-// suggested parallelization ("when we process each index entry, we can
-// parallelize score computation for each pair of sources in that entry"),
-// realized with goroutines instead of Hadoop.
-func parallelIndexRound(ds *dataset.Dataset, st *bayes.State, p bayes.Params, opts Options, cache *structCache) *Result {
-	workers := opts.Workers
-	if max := runtime.GOMAXPROCS(0); workers > max {
-		workers = max
-	}
-	if workers < 2 {
-		return scanRound(ds, st, p, opts, modeIndex, cache)
-	}
+// scanIndex performs the entry scan over a prebuilt index and pair set,
+// shared by all single-round algorithms and by INCREMENTAL's warm rounds.
+// This is the Section VIII extension generalized to the whole detector
+// family: opts.Workers shards the pair space (by the smaller source id of
+// each pair, which the sorted provider lists make a pure function of the
+// data), each worker runs the same accumulation kernel (scanShard) over
+// the entries it would see sequentially, and the merge happens in a
+// worker-independent order:
+//
+//   - per-pair state lives in one shared slice indexed by pair slot; each
+//     slot has exactly one writing worker, so the scan needs no locks and
+//     the slice is already "merged" when the workers finish;
+//   - finalizePairs then walks the slots in order on the calling
+//     goroutine, so Result.Pairs is ordered identically for every worker
+//     count;
+//   - Stats counters are summed in shard order.
+//
+// Because each pair's state transitions (including the BOUND/BOUND+ early
+// terminations and timers, which depend only on that pair's state and the
+// per-source nSeen counts each worker recomputes identically) happen in
+// index order regardless of ownership, the Result is bit-identical to the
+// sequential scan for every value of opts.Workers. The mirror of the
+// paper's suggested per-entry parallelization, with the per-pair shard
+// axis chosen so no reduction step is needed.
+func scanIndex(ds *dataset.Dataset, st *bayes.State, p bayes.Params, opts Options, m mode,
+	idx *index.Index, pm *index.PairMap, lCounts []int32, res *Result) {
 
-	buildStart := time.Now()
-	idx := index.Build(ds, st, p, index.ByContribution, nil)
-	var pm *index.PairMap
-	var lCounts []int32
-	if cache != nil {
-		pm, lCounts = cache.sharedCounts(ds, idx)
-	} else {
-		pm = index.CandidatePairs(idx, ds.NumSources())
-		lCounts = index.SharedItemCounts(ds, pm)
+	pairs := makePairStates(ds, p, opts, m, pm, lCounts)
+	workers := pool.Clamp(opts.Workers)
+	for _, stats := range pool.Shards(workers, func(w int) Stats {
+		return scanShard(ds, st, p, m, idx, pm, pairs, w, workers)
+	}) {
+		res.Stats.Add(stats)
 	}
-	res := &Result{NumSources: ds.NumSources()}
-	res.Stats.Rounds = 1
-	res.Stats.IndexBuild = time.Since(buildStart)
-
-	detectStart := time.Now()
-	lnDiff := p.LnDiff()
-
-	type shard struct {
-		pairs []PairResult
-		stats Stats
-	}
-	shards := make([]shard, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			// Sparse per-worker accumulation keyed by global slot.
-			type acc struct {
-				cTo, cFrom float64
-				n0         int32
-			}
-			accs := make(map[int32]*acc)
-			var stats Stats
-			for i := range idx.Entries {
-				e := &idx.Entries[i]
-				provs := e.Providers
-				for x := 0; x < len(provs); x++ {
-					if int(provs[x])%workers != w {
-						continue // shard ownership by smaller source id
-					}
-					for y := x + 1; y < len(provs); y++ {
-						slot := pm.Get(provs[x], provs[y])
-						if slot < 0 {
-							continue
-						}
-						a := accs[slot]
-						if a == nil {
-							a = &acc{}
-							accs[slot] = a
-						}
-						a.cTo += p.ContribSameDist(e.P, e.Pop, st.A[provs[x]], st.A[provs[y]])
-						a.cFrom += p.ContribSameDist(e.P, e.Pop, st.A[provs[y]], st.A[provs[x]])
-						a.n0++
-						stats.ValuesExamined++
-						stats.Computations += 2
-					}
-				}
-				if w == 0 {
-					stats.EntriesScanned++
-				}
-			}
-			var pairs []PairResult
-			for slot, a := range accs {
-				s1, s2 := pm.Key(slot).Sources()
-				diff := float64(lCounts[slot] - a.n0)
-				cTo := a.cTo + diff*lnDiff
-				cFrom := a.cFrom + diff*lnDiff
-				if p.CoverageWeight > 0 {
-					cov := p.CoverageWeight * p.CoverageLLR(int(lCounts[slot]),
-						ds.Coverage(s1), ds.Coverage(s2), ds.NumItems(), p.CoverageCap)
-					cTo += cov
-					cFrom += cov
-				}
-				stats.Computations += 2
-				stats.PairsConsidered++
-				copying, prIndep, prTo, prFrom := decide(p, cTo, cFrom)
-				pairs = append(pairs, PairResult{
-					S1: s1, S2: s2, CTo: cTo, CFrom: cFrom,
-					PrIndep: prIndep, PrTo: prTo, PrFrom: prFrom,
-					Copying: copying,
-				})
-			}
-			shards[w] = shard{pairs: pairs, stats: stats}
-		}(w)
-	}
-	wg.Wait()
-	for _, sh := range shards {
-		res.Pairs = append(res.Pairs, sh.pairs...)
-		stats := sh.stats
-		stats.Rounds = 0
-		stats.Detect = 0
-		stats.IndexBuild = 0
-		res.Stats.Computations += stats.Computations
-		res.Stats.PairsConsidered += stats.PairsConsidered
-		res.Stats.ValuesExamined += stats.ValuesExamined
-		res.Stats.EntriesScanned += stats.EntriesScanned
-	}
-	res.Stats.Detect = time.Since(detectStart)
-	return res
+	res.Stats.EntriesScanned += int64(len(idx.Entries))
+	finalizePairs(p, pairs, res)
 }

@@ -8,6 +8,7 @@ import (
 	"copydetect/internal/bayes"
 	"copydetect/internal/dataset"
 	"copydetect/internal/index"
+	"copydetect/internal/pool"
 )
 
 // Options configures the index-driven single-round algorithms.
@@ -21,8 +22,17 @@ type Options struct {
 	// many data items are handled INDEX-style, others with BOUND+. The
 	// paper determined 16 empirically. Zero means 16.
 	ShareThreshold int
-	// Workers parallelizes the per-entry pair updates of INDEX across a
-	// goroutine pool (the Section VIII extension). 0 or 1 is sequential.
+	// Workers parallelizes detection across a goroutine pool (the Section
+	// VIII extension): the entry scan of INDEX/BOUND/BOUND+/HYBRID is
+	// sharded over the pair space, and INCREMENTAL fans out its base-score
+	// computation, entry classification, delta application and pass 1–3
+	// re-examination. 0 or 1 is sequential. The value is the shard count,
+	// not a core count: results are bit-identical for every value (see
+	// internal/pool and DESIGN.md). Each shard performs its own pass over
+	// the index entries (filtering to the pairs it owns), so total work
+	// grows with the shard count — keep Workers near the core count;
+	// oversubscribing wastes time, it never changes results. CLI entry
+	// points default to pool.Auto() (GOMAXPROCS).
 	Workers int
 }
 
@@ -62,9 +72,6 @@ func (d *Index) Reset() { d.cache = structCache{} }
 
 // DetectRound implements Detector.
 func (d *Index) DetectRound(ds *dataset.Dataset, st *bayes.State, round int) *Result {
-	if d.Opts.Workers > 1 {
-		return parallelIndexRound(ds, st, d.Params, d.Opts, &d.cache)
-	}
 	return scanRound(ds, st, d.Params, d.Opts, modeIndex, &d.cache)
 }
 
@@ -145,8 +152,8 @@ type pairState struct {
 	copying      bool
 }
 
-// scanRound runs one round of INDEX/BOUND/BOUND+/HYBRID. cache may be nil
-// for one-shot callers.
+// scanRound runs one round of INDEX/BOUND/BOUND+/HYBRID, parallelized per
+// opts.Workers. cache may be nil for one-shot callers.
 func scanRound(ds *dataset.Dataset, st *bayes.State, p bayes.Params, opts Options, m mode, cache *structCache) *Result {
 	buildStart := time.Now()
 	var rng *rand.Rand
@@ -172,15 +179,15 @@ func scanRound(ds *dataset.Dataset, st *bayes.State, p bayes.Params, opts Option
 	return res
 }
 
-// scanIndex performs the entry scan over a prebuilt index and pair set,
-// shared by the single-round algorithms and by INCREMENTAL's preparation.
-func scanIndex(ds *dataset.Dataset, st *bayes.State, p bayes.Params, opts Options, m mode,
-	idx *index.Index, pm *index.PairMap, lCounts []int32, res *Result) {
+// makePairStates initializes the per-pair scan state, including the
+// coverage-evidence seed (footnote-1 extension) and the per-pair bound
+// mode. It is shared by the sequential and parallel paths; seeding the
+// coverage evidence before any contribution is added keeps the floating-
+// point accumulation order identical in both.
+func makePairStates(ds *dataset.Dataset, p bayes.Params, opts Options, m mode,
+	pm *index.PairMap, lCounts []int32) []pairState {
 
-	thetaCp, thetaInd := p.ThetaCp(), p.ThetaInd()
-	lnDiff := p.LnDiff()
 	shareThreshold := opts.shareThreshold()
-
 	pairs := make([]pairState, pm.Len())
 	for slot, key := range pm.Keys() {
 		s1, s2 := key.Sources()
@@ -201,12 +208,29 @@ func scanIndex(ds *dataset.Dataset, st *bayes.State, p bayes.Params, opts Option
 			ps.useBounds = ps.l > shareThreshold
 		}
 	}
+	return pairs
+}
+
+// scanShard is the accumulation kernel of the index-driven algorithms: one
+// worker's entry scan over the shard of the pair space it owns. A pair
+// {S1, S2} (S1 < S2, as guaranteed by the sorted provider lists) belongs
+// to shard S1 mod workers, so every pair has exactly one writer and its
+// state evolves through the same sequence of updates — in index order —
+// as under the sequential scan. nSeen is recomputed per worker over all
+// entries, so bound evaluations observe the same per-source counts at the
+// same scan positions as sequentially. With workers == 1 this IS the
+// sequential scan.
+func scanShard(ds *dataset.Dataset, st *bayes.State, p bayes.Params, m mode,
+	idx *index.Index, pm *index.PairMap, pairs []pairState, w, workers int) Stats {
+
+	var stats Stats
+	thetaCp, thetaInd := p.ThetaCp(), p.ThetaInd()
+	lnDiff := p.LnDiff()
 	useTimers := m == modeBoundPlus || m == modeHybrid
 
 	nSeen := make([]int32, ds.NumSources()) // n(S): values observed per source
 	for i := range idx.Entries {
 		e := &idx.Entries[i]
-		res.Stats.EntriesScanned++
 		// Tail entries (E̅) only ever update pairs that already exist:
 		// pairs co-occurring exclusively inside E̅ were never added to pm,
 		// so pm.Get below returns -1 for them and they stay pruned.
@@ -216,6 +240,9 @@ func scanIndex(ds *dataset.Dataset, st *bayes.State, p bayes.Params, opts Option
 		}
 		provs := e.Providers
 		for x := 0; x < len(provs); x++ {
+			if !pool.Owns(workers, w, int(provs[x])) {
+				continue // pair owned by another shard
+			}
 			for y := x + 1; y < len(provs); y++ {
 				s1, s2 := provs[x], provs[y]
 				slot := pm.Get(s1, s2)
@@ -231,15 +258,15 @@ func scanIndex(ds *dataset.Dataset, st *bayes.State, p bayes.Params, opts Option
 				ps.cTo += p.ContribSameDist(e.P, e.Pop, st.A[s1], st.A[s2])
 				ps.cFrom += p.ContribSameDist(e.P, e.Pop, st.A[s2], st.A[s1])
 				ps.n0++
-				res.Stats.ValuesExamined++
-				res.Stats.Computations += 2
+				stats.ValuesExamined++
+				stats.Computations += 2
 				if !ps.useBounds {
 					continue
 				}
 				// Cmin (Eq. 9): assume every unseen shared item disagrees.
 				if !useTimers || ps.n0 >= ps.minSkipUntil {
 					cmin := math.Max(ps.cTo, ps.cFrom) + float64(ps.l-ps.n0)*lnDiff
-					res.Stats.Computations++
+					stats.Computations++
 					if cmin >= thetaCp {
 						ps.decided, ps.copying = true, true
 						continue
@@ -260,7 +287,7 @@ func scanIndex(ds *dataset.Dataset, st *bayes.State, p bayes.Params, opts Option
 					h := estimateOverlapSeen(ds, nSeen, ps)
 					cmax := math.Max(ps.cTo, ps.cFrom) +
 						(h-float64(ps.n0))*lnDiff + (float64(ps.l)-h)*nextM
-					res.Stats.Computations++
+					stats.Computations++
 					if cmax < thetaInd {
 						ps.decided, ps.copying = true, false
 						continue
@@ -286,9 +313,15 @@ func scanIndex(ds *dataset.Dataset, st *bayes.State, p bayes.Params, opts Option
 			}
 		}
 	}
+	return stats
+}
 
-	// Step IV: every undecided pair has now seen all its shared values;
-	// apply the different-value correction and decide.
+// finalizePairs is step IV of the scan: every undecided pair has now seen
+// all its shared values; apply the different-value correction and decide.
+// It runs on the calling goroutine over all pairs in slot order, which
+// fixes the order of Result.Pairs independently of the worker count.
+func finalizePairs(p bayes.Params, pairs []pairState, res *Result) {
+	lnDiff := p.LnDiff()
 	res.Stats.PairsConsidered += int64(len(pairs))
 	for i := range pairs {
 		ps := &pairs[i]

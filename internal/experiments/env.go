@@ -32,6 +32,11 @@ type Env struct {
 	Seed int64
 	// Params are the model priors (the experiments use n = 100).
 	Params bayes.Params
+	// Workers shards copy detection over a goroutine pool (0 or 1 =
+	// sequential). Every table and figure is identical for any value —
+	// parallel detection is deterministic — so Workers only changes the
+	// wall-clock columns.
+	Workers int
 	// Out receives the formatted tables.
 	Out io.Writer
 
@@ -106,6 +111,11 @@ func itemSampleRate(id string) float64 {
 // newTruthFinder builds the iterative driver with the experiment priors.
 func (e *Env) newTruthFinder() *fusion.TruthFinder {
 	return &fusion.TruthFinder{Params: e.Params}
+}
+
+// opts returns the detector options shared by all experiments.
+func (e *Env) opts() core.Options {
+	return core.Options{Workers: e.Workers}
 }
 
 // rng returns a fresh deterministic random source for a named purpose.

@@ -39,10 +39,10 @@ func (e *Env) Figure2() error {
 			name string
 			det  core.Detector
 		}{
-			{"INDEX", &core.Index{Params: p}},
-			{"BOUND", &core.Bound{Params: p}},
-			{"BOUND+", &core.BoundPlus{Params: p}},
-			{"HYBRID", &core.Hybrid{Params: p}},
+			{"INDEX", &core.Index{Params: p, Opts: e.opts()}},
+			{"BOUND", &core.Bound{Params: p, Opts: e.opts()}},
+			{"BOUND+", &core.BoundPlus{Params: p, Opts: e.opts()}},
+			{"HYBRID", &core.Hybrid{Params: p, Opts: e.opts()}},
 		} {
 			out := e.runFixedRounds(inst.DS, m.det)
 			e.printf("%-8s %16d %14v\n",
@@ -96,7 +96,9 @@ func (e *Env) Figure3() error {
 
 // orderedDetector builds BOUND or HYBRID with a given entry ordering.
 func (e *Env) orderedDetector(algo string, ord index.Order) core.Detector {
-	opts := core.Options{Order: ord, Seed: e.Seed + int64(ord)}
+	opts := e.opts()
+	opts.Order = ord
+	opts.Seed = e.Seed + int64(ord)
 	if algo == "BOUND" {
 		return &core.Bound{Params: e.Params, Opts: opts}
 	}

@@ -90,13 +90,13 @@ func (e *Env) runAllMethods(inst *Instance) ([]methodRun, error) {
 		runs = append(runs, methodRun{name: name, out: out, time: out.TotalStats.Total()})
 	}
 
-	add("PAIRWISE", e.run(ds, &core.Pairwise{Params: p}))
-	add("SAMPLE1", e.runSampled(ds, s1.Dataset, s1.ItemMap, &core.Pairwise{Params: p}))
-	add("SAMPLE2", e.runSampled(ds, s2.Dataset, s2.ItemMap, &core.Pairwise{Params: p}))
-	add("INDEX", e.run(ds, &core.Index{Params: p}))
-	add("HYBRID", e.run(ds, &core.Hybrid{Params: p}))
-	add("INCREMENTAL", e.run(ds, &core.Incremental{Params: p}))
-	add("SCALESAMPLE", e.runSampled(ds, ss.Dataset, ss.ItemMap, &core.Incremental{Params: p}))
+	add("PAIRWISE", e.run(ds, &core.Pairwise{Params: p, Workers: e.Workers}))
+	add("SAMPLE1", e.runSampled(ds, s1.Dataset, s1.ItemMap, &core.Pairwise{Params: p, Workers: e.Workers}))
+	add("SAMPLE2", e.runSampled(ds, s2.Dataset, s2.ItemMap, &core.Pairwise{Params: p, Workers: e.Workers}))
+	add("INDEX", e.run(ds, &core.Index{Params: p, Opts: e.opts()}))
+	add("HYBRID", e.run(ds, &core.Hybrid{Params: p, Opts: e.opts()}))
+	add("INCREMENTAL", e.run(ds, &core.Incremental{Params: p, Opts: e.opts()}))
+	add("SCALESAMPLE", e.runSampled(ds, ss.Dataset, ss.ItemMap, &core.Incremental{Params: p, Opts: e.opts()}))
 	e.methodRuns[inst.ID] = runs
 	return runs, nil
 }
@@ -198,8 +198,8 @@ func (e *Env) Table8() error {
 			return err
 		}
 		p := e.Params
-		hyb := e.run(inst.DS, &core.Hybrid{Params: p})
-		inc := &core.Incremental{Params: p}
+		hyb := e.run(inst.DS, &core.Hybrid{Params: p, Opts: e.opts()})
+		inc := &core.Incremental{Params: p, Opts: e.opts()}
 		incOut := e.run(inst.DS, inc)
 
 		e.printf("\n%s (HYBRID rounds %d, INCREMENTAL rounds %d)\n", id, hyb.Rounds, incOut.Rounds)
@@ -246,7 +246,7 @@ func (e *Env) Table9() error {
 			return err
 		}
 		p := e.Params
-		ref := e.run(inst.DS, &core.Index{Params: p})
+		ref := e.run(inst.DS, &core.Index{Params: p, Opts: e.opts()})
 		refSet := ref.Copy.CopyingSet()
 
 		rate := itemSampleRate(inst.ID)
@@ -264,7 +264,7 @@ func (e *Env) Table9() error {
 			{"BYITEM", byItem},
 			{"BYCELL", byCell},
 		} {
-			out := e.runSampled(inst.DS, m.s.Dataset, m.s.ItemMap, &core.Incremental{Params: p})
+			out := e.runSampled(inst.DS, m.s.Dataset, m.s.ItemMap, &core.Incremental{Params: p, Opts: e.opts()})
 			prf := metrics.SetPRF(out.Copy.CopyingSet(), refSet)
 			e.printf("%-12s %6.3f %6.3f %6.3f   [%s]\n", m.name, prf.Precision, prf.Recall, prf.F1, paper[id][i])
 		}
@@ -294,8 +294,8 @@ func (e *Env) Table10() error {
 			faginTotal += in.BuildTime
 			faginRounds++
 		}
-		hyb := tf.Run(inst.DS, &core.Hybrid{Params: p})
-		inc := e.run(inst.DS, &core.Incremental{Params: p})
+		hyb := tf.Run(inst.DS, &core.Hybrid{Params: p, Opts: e.opts()})
+		inc := e.run(inst.DS, &core.Incremental{Params: p, Opts: e.opts()})
 
 		hybPerRound := float64(hyb.TotalStats.Total()) / float64(hyb.Rounds)
 		faginPerRound := float64(faginTotal) / float64(faginRounds)

@@ -1,0 +1,69 @@
+package pool
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestClamp(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{-3, 1}, {0, 1}, {1, 1}, {2, 2}, {64, 64},
+	} {
+		if got := Clamp(tc.in); got != tc.want {
+			t.Errorf("Clamp(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestAuto(t *testing.T) {
+	if got := Auto(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Auto() = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+}
+
+func TestRunCoversAllShards(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 32} {
+		var calls int64
+		seen := make([]int32, Clamp(workers))
+		Run(workers, func(w int) {
+			atomic.AddInt64(&calls, 1)
+			atomic.AddInt32(&seen[w], 1)
+		})
+		if int(calls) != Clamp(workers) {
+			t.Errorf("workers=%d: %d calls, want %d", workers, calls, Clamp(workers))
+		}
+		for w, n := range seen {
+			if n != 1 {
+				t.Errorf("workers=%d: shard %d called %d times", workers, w, n)
+			}
+		}
+	}
+}
+
+func TestShardsOrdered(t *testing.T) {
+	got := Shards(7, func(w int) int { return w * w })
+	if len(got) != 7 {
+		t.Fatalf("len = %d, want 7", len(got))
+	}
+	for w, v := range got {
+		if v != w*w {
+			t.Errorf("shard %d = %d, want %d", w, v, w*w)
+		}
+	}
+}
+
+func TestShardsSequentialInline(t *testing.T) {
+	// workers <= 1 must run on the calling goroutine (the sequential path
+	// shares the kernel without goroutine overhead).
+	var gid [2]int
+	fill := func(i int) func(int) int {
+		return func(w int) int { gid[i] = 1; return w }
+	}
+	if got := Shards(1, fill(0)); len(got) != 1 || got[0] != 0 {
+		t.Errorf("Shards(1) = %v", got)
+	}
+	if got := Shards(0, fill(1)); len(got) != 1 || got[0] != 0 {
+		t.Errorf("Shards(0) = %v", got)
+	}
+}
