@@ -87,16 +87,7 @@ func main() {
 		algo, out.Rounds, len(pairs), elapsed.Round(time.Millisecond),
 		out.TotalStats.Total().Round(time.Millisecond))
 	for _, pr := range pairs {
-		dir := "?"
-		switch {
-		case pr.PrTo > pr.PrFrom*2:
-			dir = fmt.Sprintf("%s -> %s", ds.SourceNames[pr.S1], ds.SourceNames[pr.S2])
-		case pr.PrFrom > pr.PrTo*2:
-			dir = fmt.Sprintf("%s -> %s", ds.SourceNames[pr.S2], ds.SourceNames[pr.S1])
-		default:
-			dir = fmt.Sprintf("%s <-> %s", ds.SourceNames[pr.S1], ds.SourceNames[pr.S2])
-		}
-		fmt.Printf("  %-40s Pr(indep)=%.4f\n", dir, pr.PrIndep)
+		fmt.Printf("  %-40s Pr(indep)=%.4f\n", pr.Direction(ds.SourceNames), pr.PrIndep)
 	}
 
 	if acc, gold := copydetect.FusionAccuracy(ds, out.Truth); gold > 0 {

@@ -1,0 +1,112 @@
+// Command copydetectd is a streaming copy-detection service: an
+// HTTP/JSON daemon holding a registry of named datasets. Clients append
+// observation batches as they arrive; a dirty-dataset scheduler runs
+// detection rounds asynchronously — full HYBRID on a dataset's first
+// build, INCREMENTAL refinement afterwards — and reads serve the last
+// published round without ever blocking on detection.
+//
+// Usage:
+//
+//	copydetectd [-addr :8377] [-alpha 0.1] [-s 0.8] [-n 100]
+//	            [-workers 0] [-concurrency 1]
+//
+// -workers 0 (the default) shards each detection round over one
+// goroutine per CPU; -concurrency caps how many datasets detect at the
+// same time. See the package comment of internal/server for the wire
+// protocol and the batch-equivalence guarantee.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"copydetect/internal/bayes"
+	"copydetect/internal/pool"
+	"copydetect/internal/server"
+)
+
+// options carries the parsed command line; split out for testability.
+type options struct {
+	addr string
+	cfg  server.Config
+}
+
+// parseFlags parses args (without the program name) into options,
+// applying the per-CPU worker default and validating the priors.
+func parseFlags(args []string) (options, error) {
+	fs := flag.NewFlagSet("copydetectd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8377", "listen address")
+	alpha := fs.Float64("alpha", 0.1, "a-priori copying probability α")
+	s := fs.Float64("s", 0.8, "copy selectivity s")
+	n := fs.Float64("n", 100, "number of false values per item n")
+	workers := fs.Int("workers", 0, "detection worker goroutines per round (0 = one per CPU, 1 = sequential)")
+	concurrency := fs.Int("concurrency", 1, "max datasets detecting concurrently")
+	if err := fs.Parse(args); err != nil {
+		return options{}, err
+	}
+	p := bayes.Params{Alpha: *alpha, S: *s, N: *n}
+	if err := p.Validate(); err != nil {
+		return options{}, err
+	}
+	if *concurrency < 1 {
+		return options{}, fmt.Errorf("copydetectd: -concurrency %d must be at least 1", *concurrency)
+	}
+	w := *workers
+	if w <= 0 {
+		w = pool.Auto()
+	}
+	opt := options{addr: *addr}
+	opt.cfg.Params = p
+	opt.cfg.Options.Workers = w
+	opt.cfg.Concurrency = *concurrency
+	return opt, nil
+}
+
+func main() {
+	opt, err := parseFlags(os.Args[1:])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "copydetectd: %v\n", err)
+		os.Exit(2)
+	}
+
+	reg := server.NewRegistry(opt.cfg)
+	srv := &http.Server{Addr: opt.addr, Handler: logRequests(server.NewHandler(reg))}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("copydetectd: listening on %s (workers=%d, concurrency=%d)",
+		opt.addr, opt.cfg.Options.Workers, opt.cfg.Concurrency)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("copydetectd: %v", err)
+	case <-ctx.Done():
+	}
+	log.Printf("copydetectd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("copydetectd: shutdown: %v", err)
+	}
+	reg.Close()
+}
+
+// logRequests is a one-line access log.
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, req)
+		log.Printf("%s %s %v", req.Method, req.URL.Path, time.Since(start).Round(time.Microsecond))
+	})
+}

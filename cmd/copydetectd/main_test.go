@@ -1,0 +1,49 @@
+package main
+
+import (
+	"testing"
+)
+
+// TestParseFlags exercises every documented flag and the validation of
+// priors and concurrency.
+func TestParseFlags(t *testing.T) {
+	opt, err := parseFlags(nil)
+	if err != nil {
+		t.Fatalf("defaults: %v", err)
+	}
+	if opt.addr != ":8377" || opt.cfg.Concurrency != 1 {
+		t.Fatalf("defaults = %+v", opt)
+	}
+	if opt.cfg.Options.Workers < 1 {
+		t.Fatalf("workers default %d, want >= 1 (per-CPU)", opt.cfg.Options.Workers)
+	}
+	if p := opt.cfg.Params; p.Alpha != 0.1 || p.S != 0.8 || p.N != 100 {
+		t.Fatalf("default params = %+v", p)
+	}
+
+	opt, err = parseFlags([]string{
+		"-addr", "127.0.0.1:9000", "-alpha", "0.2", "-s", "0.5", "-n", "40",
+		"-workers", "3", "-concurrency", "2",
+	})
+	if err != nil {
+		t.Fatalf("full flags: %v", err)
+	}
+	if opt.addr != "127.0.0.1:9000" || opt.cfg.Options.Workers != 3 || opt.cfg.Concurrency != 2 {
+		t.Fatalf("full flags = %+v", opt)
+	}
+	if p := opt.cfg.Params; p.Alpha != 0.2 || p.S != 0.5 || p.N != 40 {
+		t.Fatalf("full-flag params = %+v", p)
+	}
+
+	for _, bad := range [][]string{
+		{"-alpha", "0.7"},
+		{"-s", "1.5"},
+		{"-n", "1"},
+		{"-concurrency", "0"},
+		{"-nonsense"},
+	} {
+		if _, err := parseFlags(bad); err == nil {
+			t.Errorf("parseFlags(%v) accepted invalid input", bad)
+		}
+	}
+}

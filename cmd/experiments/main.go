@@ -10,8 +10,7 @@
 // slowest baseline (PAIRWISE on Book-full) tractable. -workers 0 (the
 // default) shards copy detection over one goroutine per CPU; detection is
 // deterministic, so the tables are identical for every worker count and
-// only the wall-clock columns change. See EXPERIMENTS.md for recorded
-// paper-vs-measured results.
+// only the wall-clock columns change.
 package main
 
 import (

@@ -33,6 +33,21 @@ type PairResult struct {
 	Copying bool
 }
 
+// Direction renders the likely copying direction of a pair using the
+// given source names: "a -> b" when the posterior favors one direction
+// by at least 2x, "a <-> b" when the evidence is symmetric.
+func (pr PairResult) Direction(names []string) string {
+	s1, s2 := names[pr.S1], names[pr.S2]
+	switch {
+	case pr.PrTo > 2*pr.PrFrom:
+		return s1 + " -> " + s2
+	case pr.PrFrom > 2*pr.PrTo:
+		return s2 + " -> " + s1
+	default:
+		return s1 + " <-> " + s2
+	}
+}
+
 // Result is the outcome of one copy-detection round.
 type Result struct {
 	NumSources int

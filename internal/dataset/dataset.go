@@ -275,6 +275,19 @@ func (b *Builder) Add(source, item, value string) {
 	b.AddIDs(s, d, v)
 }
 
+// AddRecords appends a batch of named observations in order. Together
+// with calling Build after every batch it is the streaming-append path
+// used by the serving layer: the Builder keeps interning across batches,
+// and each Build returns an immutable snapshot of everything appended so
+// far. Replaying the same records in the same order into a fresh Builder
+// reproduces the same id assignment, which is what makes streamed
+// detection results comparable to batch runs.
+func (b *Builder) AddRecords(recs []Record) {
+	for _, r := range recs {
+		b.Add(r.Source, r.Item, r.Value)
+	}
+}
+
 // AddIDs records an observation by pre-interned ids.
 func (b *Builder) AddIDs(s SourceID, d ItemID, v ValueID) {
 	b.obs[int64(s)<<32|int64(uint32(d))] = v
@@ -291,6 +304,12 @@ func (b *Builder) SetTruthIDs(d ItemID, v ValueID) { b.truth[d] = v }
 
 // NumObservations reports how many (source, item) cells have been added.
 func (b *Builder) NumObservations() int { return len(b.obs) }
+
+// NumSources reports how many distinct sources have been interned.
+func (b *Builder) NumSources() int { return len(b.sourceNames) }
+
+// NumItems reports how many distinct items have been interned.
+func (b *Builder) NumItems() int { return len(b.itemNames) }
 
 // Build materializes the dataset. The Builder can keep being used and
 // Build called again, but the returned Dataset never changes.

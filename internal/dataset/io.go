@@ -9,6 +9,47 @@ import (
 	"strings"
 )
 
+// Record is one named observation — the unit of streaming appends
+// (Builder.AddRecords) and of the copydetectd wire format.
+type Record struct {
+	Source string `json:"s"`
+	Item   string `json:"d"`
+	Value  string `json:"v"`
+}
+
+// Records flattens ds into named observation records, ordered by source
+// id and then by item id. The order is deterministic, so replaying the
+// records into a fresh Builder (all at once or batch by batch) rebuilds a
+// dataset with identical id assignment.
+func Records(ds *Dataset) []Record {
+	recs := make([]Record, 0, ds.NumObservations())
+	for s, obs := range ds.BySource {
+		for _, o := range obs {
+			recs = append(recs, Record{
+				Source: ds.SourceNames[s],
+				Item:   ds.ItemNames[o.Item],
+				Value:  ds.ValueNames[o.Item][o.Value],
+			})
+		}
+	}
+	return recs
+}
+
+// TruthRecords flattens the gold standard of ds into (item, value)
+// records, with Source left empty. It returns nil when ds has no truth.
+func TruthRecords(ds *Dataset) []Record {
+	if ds.Truth == nil {
+		return nil
+	}
+	var recs []Record
+	for d, v := range ds.Truth {
+		if v != NoValue {
+			recs = append(recs, Record{Item: ds.ItemNames[d], Value: ds.ValueNames[d][v]})
+		}
+	}
+	return recs
+}
+
 // jsonDataset is the on-disk JSON form of a dataset: a compact,
 // human-inspectable triple store plus optional truth.
 type jsonDataset struct {

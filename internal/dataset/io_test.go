@@ -1,0 +1,189 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// ioFixture builds a small dataset with conflicts, missing cells and a
+// partial gold standard — enough to exercise every serialization path.
+func ioFixture() *Dataset {
+	b := NewBuilder()
+	b.Add("alpha", "NJ", "Trenton")
+	b.Add("alpha", "AZ", "Phoenix")
+	b.Add("beta", "NJ", "Atlantic")
+	b.Add("beta", "NY", "Albany")
+	b.Add("gamma", "NJ", "Trenton")
+	b.Add("gamma", "AZ", "Tempe")
+	b.Add("gamma", "NY", "Albany")
+	b.SetTruth("NJ", "Trenton")
+	b.SetTruth("AZ", "Phoenix")
+	return b.Build()
+}
+
+func findSource(ds *Dataset, name string) SourceID {
+	for s, n := range ds.SourceNames {
+		if n == name {
+			return SourceID(s)
+		}
+	}
+	return -1
+}
+
+func findItem(ds *Dataset, name string) ItemID {
+	for d, n := range ds.ItemNames {
+		if n == name {
+			return ItemID(d)
+		}
+	}
+	return -1
+}
+
+// TestJSONRoundTripPartialTruth: a partial gold standard survives the
+// JSON round trip item by item, and a truthless dataset stays truthless.
+func TestJSONRoundTripPartialTruth(t *testing.T) {
+	want := ioFixture()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, want); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("round-tripped dataset invalid: %v", err)
+	}
+	assertSameData(t, want, got)
+	if got.Truth == nil {
+		t.Fatal("truth lost in round trip")
+	}
+	nj, az, ny := findItem(got, "NJ"), findItem(got, "AZ"), findItem(got, "NY")
+	if got.ValueNames[nj][got.Truth[nj]] != "Trenton" || got.ValueNames[az][got.Truth[az]] != "Phoenix" {
+		t.Fatal("truth values corrupted in round trip")
+	}
+	if got.Truth[ny] != NoValue {
+		t.Fatal("round trip invented a truth for an item without one")
+	}
+
+	buf.Reset()
+	b := NewBuilder()
+	b.Add("a", "x", "1")
+	b.Add("b", "x", "2")
+	if err := WriteJSON(&buf, b.Build()); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if got, err := ReadJSON(&buf); err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	} else if got.Truth != nil {
+		t.Fatal("truth materialized from a truthless file")
+	}
+}
+
+// TestCSVRoundTripPartial: the CSV round trip preserves missing cells
+// and the partial TRUTH row.
+func TestCSVRoundTripPartial(t *testing.T) {
+	want := ioFixture()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, want); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	assertSameData(t, want, got)
+	if got.ValueOf(findSource(got, "beta"), findItem(got, "AZ")) != NoValue {
+		t.Fatal("round trip materialized a missing cell")
+	}
+	if ny := findItem(got, "NY"); got.Truth[ny] != NoValue {
+		t.Fatal("round trip invented a truth for an item without one")
+	}
+}
+
+// TestReadCSVTableLayout pins the Table I conventions: whitespace
+// trimming, case-insensitive TRUTH rows, and short rows as missing
+// cells.
+func TestReadCSVTableLayout(t *testing.T) {
+	in := strings.Join([]string{
+		"source,NJ,AZ",
+		"alpha, Trenton ,Phoenix",
+		"beta,Atlantic",
+		"truth,Trenton,Phoenix",
+	}, "\n")
+	ds, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if ds.NumSources() != 2 || ds.NumItems() != 2 || ds.NumObservations() != 3 {
+		t.Fatalf("parsed shape: %s", Summarize(ds))
+	}
+	s, d := findSource(ds, "alpha"), findItem(ds, "NJ")
+	if v := ds.ValueOf(s, d); v == NoValue || ds.ValueNames[d][v] != "Trenton" {
+		t.Fatal("whitespace not trimmed from CSV cell")
+	}
+	if ds.Truth == nil || ds.Truth[d] == NoValue || ds.ValueNames[d][ds.Truth[d]] != "Trenton" {
+		t.Fatal("case-insensitive TRUTH row not parsed")
+	}
+	if az := findItem(ds, "AZ"); ds.ValueOf(findSource(ds, "beta"), az) != NoValue {
+		t.Fatal("short row materialized a value for a missing cell")
+	}
+}
+
+func TestReadJSONMalformed(t *testing.T) {
+	for name, in := range map[string]string{
+		"truncated":  `{"sources":["a"],`,
+		"not-json":   `this is not json`,
+		"wrong-type": `{"sources":"a"}`,
+	} {
+		if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadJSON(%s) accepted malformed input", name)
+		}
+	}
+}
+
+// TestReadCSVMalformedQuoting covers the csv-reader error path, which
+// TestReadCSVErrors (structural errors) does not reach.
+func TestReadCSVMalformedQuoting(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("source,NJ\n\"alpha,Trenton")); err == nil {
+		t.Error("ReadCSV accepted an unterminated quote")
+	}
+	if _, err := ReadCSV(strings.NewReader("source,NJ\nal\"pha\",Trenton")); err == nil {
+		t.Error("ReadCSV accepted a bare quote inside a field")
+	}
+}
+
+// TestRecordsRoundTrip: Records/TruthRecords flatten a dataset into the
+// streaming-append format, and replaying them through a Builder
+// reproduces the dataset.
+func TestRecordsRoundTrip(t *testing.T) {
+	want := ioFixture()
+	recs := Records(want)
+	if len(recs) != want.NumObservations() {
+		t.Fatalf("Records returned %d records, want %d", len(recs), want.NumObservations())
+	}
+	truth := TruthRecords(want)
+	if len(truth) != 2 {
+		t.Fatalf("TruthRecords returned %d records, want 2", len(truth))
+	}
+	b := NewBuilder()
+	b.AddRecords(recs)
+	for _, tr := range truth {
+		b.SetTruth(tr.Item, tr.Value)
+	}
+	got := b.Build()
+	if err := got.Validate(); err != nil {
+		t.Fatalf("replayed dataset invalid: %v", err)
+	}
+	assertSameData(t, want, got)
+	if TruthRecords(got) == nil {
+		t.Fatal("replayed dataset lost its truth")
+	}
+
+	b2 := NewBuilder()
+	b2.Add("a", "x", "1")
+	if TruthRecords(b2.Build()) != nil {
+		t.Fatal("TruthRecords invented truth for a truthless dataset")
+	}
+}

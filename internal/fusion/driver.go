@@ -39,6 +39,12 @@ type TruthFinder struct {
 	// with the dataset and state the detector saw. The experiment harness
 	// uses it to collect per-round measurements (Tables VIII and X).
 	OnRound func(round int, detDS *dataset.Dataset, detSt *bayes.State, res *core.Result)
+	// Cancel, when non-nil, makes Run abandon the iterative process once
+	// the channel is closed: the check happens between rounds, and a
+	// cancelled Run returns nil instead of a (partial, misleading)
+	// Outcome. The serving layer uses it to abort in-flight detection
+	// when new observations make the round's snapshot stale.
+	Cancel <-chan struct{}
 }
 
 // Outcome is the result of a full iterative run.
@@ -81,6 +87,18 @@ func (tf *TruthFinder) minRounds() int {
 	return tf.MinRounds
 }
 
+func (tf *TruthFinder) cancelled() bool {
+	if tf.Cancel == nil {
+		return false
+	}
+	select {
+	case <-tf.Cancel:
+		return true
+	default:
+		return false
+	}
+}
+
 func (tf *TruthFinder) eps() float64 {
 	if tf.Eps == 0 {
 		return 1e-4
@@ -117,6 +135,9 @@ func (tf *TruthFinder) Run(ds *dataset.Dataset, det core.Detector) *Outcome {
 	}
 
 	for round := 1; round <= tf.maxRounds(); round++ {
+		if tf.cancelled() {
+			return nil
+		}
 		detSt := st
 		if detDS != ds {
 			detSt = projectState(st, itemMap)

@@ -140,3 +140,40 @@ func TestRoundStatsAccumulate(t *testing.T) {
 		t.Errorf("stats rounds %d != %d", out.TotalStats.Rounds, out.Rounds)
 	}
 }
+
+// TestCancelAbortsRun: a closed Cancel channel makes Run return nil
+// between rounds — mid-process for a channel closed by the OnRound hook,
+// immediately for one closed up front.
+func TestCancelAbortsRun(t *testing.T) {
+	ds, _ := dataset.Motivating()
+	p := exampleParams()
+
+	pre := make(chan struct{})
+	close(pre)
+	tf := &TruthFinder{Params: p, Cancel: pre}
+	if out := tf.Run(ds, &core.Hybrid{Params: p}); out != nil {
+		t.Fatalf("pre-cancelled Run returned %+v, want nil", out)
+	}
+
+	mid := make(chan struct{})
+	rounds := 0
+	tf = &TruthFinder{Params: p, Cancel: mid}
+	tf.OnRound = func(round int, _ *dataset.Dataset, _ *bayes.State, _ *core.Result) {
+		rounds = round
+		if round == 2 {
+			close(mid)
+		}
+	}
+	if out := tf.Run(ds, &core.Hybrid{Params: p}); out != nil {
+		t.Fatalf("mid-cancelled Run returned %+v, want nil", out)
+	}
+	if rounds != 2 {
+		t.Fatalf("detector ran %d rounds after cancellation, want 2", rounds)
+	}
+
+	// A nil Cancel leaves the process untouched.
+	tf = &TruthFinder{Params: p}
+	if out := tf.Run(ds, &core.Hybrid{Params: p}); out == nil {
+		t.Fatal("uncancelled Run returned nil")
+	}
+}

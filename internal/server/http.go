@@ -1,0 +1,388 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"copydetect/internal/dataset"
+)
+
+// NewHandler exposes a registry over HTTP/JSON — the copydetectd wire
+// protocol:
+//
+//	GET    /healthz                            liveness probe
+//	GET    /v1/datasets                        list datasets
+//	PUT    /v1/datasets/{name}                 create (optional config body)
+//	GET    /v1/datasets/{name}                 dataset info
+//	DELETE /v1/datasets/{name}                 delete
+//	POST   /v1/datasets/{name}/observations    append a batch
+//	GET    /v1/datasets/{name}/copies          cached copying pairs (ETag)
+//	GET    /v1/datasets/{name}/truth           cached decided truths (ETag)
+//	GET    /v1/datasets/{name}/stats           dataset + detection stats
+//	POST   /v1/datasets/{name}/quiesce         block until converged
+//
+// Reads serve the last published detection round and never block on
+// detection; they carry an ETag that changes exactly when a new round is
+// published, and honor If-None-Match with 304.
+func NewHandler(reg *Registry) http.Handler {
+	return &handler{reg: reg}
+}
+
+type handler struct {
+	reg *Registry
+}
+
+// errorResponse is the JSON body of every non-2xx response.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// createRequest optionally overrides registry defaults for one dataset.
+// Omitted (zero) fields inherit.
+type createRequest struct {
+	Alpha   float64 `json:"alpha,omitempty"`
+	S       float64 `json:"s,omitempty"`
+	N       float64 `json:"n,omitempty"`
+	Workers int     `json:"workers,omitempty"`
+}
+
+// appendRequest is a batch of observations, in the s/d/v field naming of
+// the dataset JSON format, plus optional gold-standard truths.
+type appendRequest struct {
+	Observations []dataset.Record `json:"observations"`
+	Truth        []dataset.Record `json:"truth,omitempty"`
+}
+
+type appendResponse struct {
+	Dataset      string `json:"dataset"`
+	Version      uint64 `json:"version"`
+	Appended     int    `json:"appended"`
+	Observations int    `json:"observations"`
+}
+
+type copyingPair struct {
+	S1        string  `json:"s1"`
+	S2        string  `json:"s2"`
+	Direction string  `json:"direction"`
+	PrIndep   float64 `json:"prIndep"`
+	PrTo      float64 `json:"prTo"`
+	PrFrom    float64 `json:"prFrom"`
+}
+
+type copiesResponse struct {
+	Dataset   string        `json:"dataset"`
+	Version   uint64        `json:"version"`
+	Round     int           `json:"round"`
+	Algorithm string        `json:"algorithm,omitempty"`
+	Converged bool          `json:"converged"`
+	Pairs     []copyingPair `json:"pairs"`
+}
+
+type truthResponse struct {
+	Dataset   string            `json:"dataset"`
+	Version   uint64            `json:"version"`
+	Round     int               `json:"round"`
+	Converged bool              `json:"converged"`
+	Truth     map[string]string `json:"truth"`
+}
+
+type statsResponse struct {
+	Info
+	DetectRounds    int     `json:"detectRounds"`
+	Computations    int64   `json:"computations"`
+	PairsConsidered int64   `json:"pairsConsidered"`
+	CopyingPairs    int     `json:"copyingPairs"`
+	DetectMillis    float64 `json:"detectMillis"`
+	FusionMillis    float64 `json:"fusionMillis"`
+	WallMillis      float64 `json:"wallMillis"`
+}
+
+func (h *handler) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	path := req.URL.Path
+	switch {
+	case path == "/healthz":
+		if req.Method != http.MethodGet {
+			writeErr(w, http.StatusMethodNotAllowed, "use GET")
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	case path == "/v1/datasets":
+		if req.Method != http.MethodGet {
+			writeErr(w, http.StatusMethodNotAllowed, "use GET; create with PUT /v1/datasets/{name}")
+			return
+		}
+		h.list(w)
+	case strings.HasPrefix(path, "/v1/datasets/"):
+		h.dataset(w, req, strings.TrimPrefix(path, "/v1/datasets/"))
+	default:
+		writeErr(w, http.StatusNotFound, "unknown path")
+	}
+}
+
+func (h *handler) dataset(w http.ResponseWriter, req *http.Request, rest string) {
+	parts := strings.Split(rest, "/")
+	name := parts[0]
+	if name == "" || len(parts) > 2 {
+		writeErr(w, http.StatusNotFound, "unknown path")
+		return
+	}
+	if len(parts) == 1 {
+		switch req.Method {
+		case http.MethodPut:
+			h.create(w, req, name)
+		case http.MethodGet:
+			h.info(w, name)
+		case http.MethodDelete:
+			h.delete(w, name)
+		default:
+			writeErr(w, http.StatusMethodNotAllowed, "use PUT, GET or DELETE")
+		}
+		return
+	}
+	switch parts[1] {
+	case "observations":
+		if req.Method != http.MethodPost {
+			writeErr(w, http.StatusMethodNotAllowed, "use POST")
+			return
+		}
+		h.append(w, req, name)
+	case "copies":
+		if req.Method != http.MethodGet {
+			writeErr(w, http.StatusMethodNotAllowed, "use GET")
+			return
+		}
+		h.copies(w, req, name)
+	case "truth":
+		if req.Method != http.MethodGet {
+			writeErr(w, http.StatusMethodNotAllowed, "use GET")
+			return
+		}
+		h.truth(w, req, name)
+	case "stats":
+		if req.Method != http.MethodGet {
+			writeErr(w, http.StatusMethodNotAllowed, "use GET")
+			return
+		}
+		h.stats(w, name)
+	case "quiesce":
+		if req.Method != http.MethodPost {
+			writeErr(w, http.StatusMethodNotAllowed, "use POST")
+			return
+		}
+		h.quiesce(w, req, name)
+	default:
+		writeErr(w, http.StatusNotFound, "unknown path")
+	}
+}
+
+func (h *handler) list(w http.ResponseWriter) {
+	names := h.reg.List()
+	infos := make([]Info, 0, len(names))
+	for _, name := range names {
+		if m, ok := h.reg.Get(name); ok {
+			infos = append(infos, m.Info())
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": infos})
+}
+
+func (h *handler) create(w http.ResponseWriter, req *http.Request, name string) {
+	var cr createRequest
+	if err := decodeBody(req, &cr); err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	cfg := DatasetConfig{Workers: cr.Workers}
+	if cr.Alpha != 0 || cr.S != 0 || cr.N != 0 {
+		cfg.Params = h.reg.params
+		if cr.Alpha != 0 {
+			cfg.Params.Alpha = cr.Alpha
+		}
+		if cr.S != 0 {
+			cfg.Params.S = cr.S
+		}
+		if cr.N != 0 {
+			cfg.Params.N = cr.N
+		}
+	}
+	m, err := h.reg.Create(name, cfg)
+	switch {
+	case errors.Is(err, ErrExists):
+		writeErr(w, http.StatusConflict, err.Error())
+		return
+	case err != nil:
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusCreated, m.Info())
+}
+
+func (h *handler) info(w http.ResponseWriter, name string) {
+	m, ok := h.reg.Get(name)
+	if !ok {
+		writeErr(w, http.StatusNotFound, ErrNotFound.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, m.Info())
+}
+
+func (h *handler) delete(w http.ResponseWriter, name string) {
+	if !h.reg.Delete(name) {
+		writeErr(w, http.StatusNotFound, ErrNotFound.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+}
+
+func (h *handler) append(w http.ResponseWriter, req *http.Request, name string) {
+	m, ok := h.reg.Get(name)
+	if !ok {
+		writeErr(w, http.StatusNotFound, ErrNotFound.Error())
+		return
+	}
+	var ar appendRequest
+	if err := decodeBody(req, &ar); err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(ar.Observations) == 0 && len(ar.Truth) == 0 {
+		writeErr(w, http.StatusBadRequest, "empty batch: provide observations and/or truth")
+		return
+	}
+	for i, o := range ar.Observations {
+		if o.Source == "" || o.Item == "" || o.Value == "" {
+			writeErr(w, http.StatusBadRequest,
+				"observation "+strconv.Itoa(i)+": s, d and v must all be non-empty")
+			return
+		}
+	}
+	for i, tr := range ar.Truth {
+		if tr.Item == "" || tr.Value == "" {
+			writeErr(w, http.StatusBadRequest,
+				"truth "+strconv.Itoa(i)+": d and v must be non-empty")
+			return
+		}
+	}
+	version, total, err := m.Append(ar.Observations, ar.Truth)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, appendResponse{
+		Dataset:      name,
+		Version:      version,
+		Appended:     len(ar.Observations),
+		Observations: total,
+	})
+}
+
+// serveCached handles the shared ETag negotiation of the read endpoints
+// and returns one consistent snapshot: the published round to render
+// (nil before the first) and its convergence flag.
+func (h *handler) serveCached(w http.ResponseWriter, req *http.Request, name string) (pub *Published, converged, ok bool) {
+	m, found := h.reg.Get(name)
+	if !found {
+		writeErr(w, http.StatusNotFound, ErrNotFound.Error())
+		return nil, false, false
+	}
+	pub, converged, etag := m.ReadState()
+	w.Header().Set("ETag", etag)
+	if match := req.Header.Get("If-None-Match"); match != "" && match == etag {
+		w.WriteHeader(http.StatusNotModified)
+		return nil, false, false
+	}
+	return pub, converged, true
+}
+
+func (h *handler) copies(w http.ResponseWriter, req *http.Request, name string) {
+	pub, converged, ok := h.serveCached(w, req, name)
+	if !ok {
+		return
+	}
+	resp := copiesResponse{Dataset: name, Converged: converged, Pairs: []copyingPair{}}
+	if pub != nil {
+		resp.Version, resp.Round, resp.Algorithm = pub.Version, pub.Round, pub.Algorithm
+		for _, pr := range pub.Outcome.Copy.CopyingPairs() {
+			resp.Pairs = append(resp.Pairs, copyingPair{
+				S1:        pub.Snapshot.SourceNames[pr.S1],
+				S2:        pub.Snapshot.SourceNames[pr.S2],
+				Direction: pr.Direction(pub.Snapshot.SourceNames),
+				PrIndep:   pr.PrIndep, PrTo: pr.PrTo, PrFrom: pr.PrFrom,
+			})
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (h *handler) truth(w http.ResponseWriter, req *http.Request, name string) {
+	pub, converged, ok := h.serveCached(w, req, name)
+	if !ok {
+		return
+	}
+	resp := truthResponse{Dataset: name, Converged: converged, Truth: map[string]string{}}
+	if pub != nil {
+		resp.Version, resp.Round = pub.Version, pub.Round
+		for d, v := range pub.Outcome.Truth {
+			if v != dataset.NoValue {
+				resp.Truth[pub.Snapshot.ItemNames[d]] = pub.Snapshot.ValueNames[d][v]
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (h *handler) stats(w http.ResponseWriter, name string) {
+	m, ok := h.reg.Get(name)
+	if !ok {
+		writeErr(w, http.StatusNotFound, ErrNotFound.Error())
+		return
+	}
+	resp := statsResponse{Info: m.Info()}
+	if pub := m.Published(); pub != nil {
+		out := pub.Outcome
+		resp.DetectRounds = out.Rounds
+		resp.Computations = out.TotalStats.Computations
+		resp.PairsConsidered = out.TotalStats.PairsConsidered
+		resp.CopyingPairs = len(out.Copy.CopyingPairs())
+		resp.DetectMillis = out.TotalStats.Total().Seconds() * 1e3
+		resp.FusionMillis = out.FusionTime.Seconds() * 1e3
+		resp.WallMillis = pub.Wall.Seconds() * 1e3
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (h *handler) quiesce(w http.ResponseWriter, req *http.Request, name string) {
+	if _, err := h.reg.Quiesce(req.Context(), name); err != nil {
+		code := http.StatusNotFound
+		if req.Context().Err() != nil {
+			code = http.StatusRequestTimeout
+		}
+		writeErr(w, code, err.Error())
+		return
+	}
+	h.stats(w, name)
+}
+
+func decodeBody(req *http.Request, v any) error {
+	err := json.NewDecoder(req.Body).Decode(v)
+	if err == nil || errors.Is(err, io.EOF) {
+		return nil // an empty body means all defaults
+	}
+	return err
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorResponse{Error: msg})
+}

@@ -1,0 +1,235 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"copydetect/internal/dataset"
+)
+
+// do issues one request against the handler and decodes the JSON body.
+func do(t *testing.T, srv *httptest.Server, method, path string, body any, out any, hdr map[string]string) *http.Response {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatalf("marshal body: %v", err)
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, srv.URL+path, rd)
+	if err != nil {
+		t.Fatalf("new request: %v", err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, path, err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode != http.StatusNotModified {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decode response: %v", method, path, err)
+		}
+	}
+	return resp
+}
+
+func wantStatus(t *testing.T, resp *http.Response, want int) {
+	t.Helper()
+	if resp.StatusCode != want {
+		t.Fatalf("%s %s: status %d, want %d", resp.Request.Method, resp.Request.URL.Path, resp.StatusCode, want)
+	}
+}
+
+// TestHTTPEndToEnd drives the full wire protocol against the paper's
+// motivating example (Table I): create, stream, quiesce, read cached
+// results with ETag revalidation, delete.
+func TestHTTPEndToEnd(t *testing.T) {
+	reg := NewRegistry(Config{})
+	defer reg.Close()
+	srv := httptest.NewServer(NewHandler(reg))
+	defer srv.Close()
+
+	wantStatus(t, do(t, srv, http.MethodGet, "/healthz", nil, nil, nil), http.StatusOK)
+
+	var list struct {
+		Datasets []Info `json:"datasets"`
+	}
+	wantStatus(t, do(t, srv, http.MethodGet, "/v1/datasets", nil, &list, nil), http.StatusOK)
+	if len(list.Datasets) != 0 {
+		t.Fatalf("fresh registry lists %d datasets", len(list.Datasets))
+	}
+
+	var info Info
+	wantStatus(t, do(t, srv, http.MethodPut, "/v1/datasets/motivating",
+		createRequest{Workers: 2}, &info, nil), http.StatusCreated)
+	if info.Name != "motivating" || info.Workers != 2 || info.Alpha == 0 {
+		t.Fatalf("create info = %+v", info)
+	}
+	wantStatus(t, do(t, srv, http.MethodPut, "/v1/datasets/motivating", nil, nil, nil),
+		http.StatusConflict)
+
+	// The motivating example, streamed as one batch.
+	ds, _ := dataset.Motivating()
+	var appended appendResponse
+	wantStatus(t, do(t, srv, http.MethodPost, "/v1/datasets/motivating/observations",
+		appendRequest{Observations: dataset.Records(ds)}, &appended, nil), http.StatusAccepted)
+	if appended.Version != 1 || appended.Observations != ds.NumObservations() {
+		t.Fatalf("append response = %+v", appended)
+	}
+
+	var stats statsResponse
+	wantStatus(t, do(t, srv, http.MethodPost, "/v1/datasets/motivating/quiesce", nil, &stats, nil),
+		http.StatusOK)
+	if !stats.Converged || stats.Round != 1 || stats.Algorithm != "HYBRID" || stats.DetectRounds == 0 {
+		t.Fatalf("quiesce stats = %+v", stats)
+	}
+
+	var copies copiesResponse
+	resp := do(t, srv, http.MethodGet, "/v1/datasets/motivating/copies", nil, &copies, nil)
+	wantStatus(t, resp, http.StatusOK)
+	etag := resp.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("copies response has no ETag")
+	}
+	if !copies.Converged || len(copies.Pairs) == 0 {
+		t.Fatalf("copies = %+v; the motivating example must detect copying", copies)
+	}
+	for _, pr := range copies.Pairs {
+		if pr.Direction == "" || pr.S1 == pr.S2 {
+			t.Fatalf("malformed pair %+v", pr)
+		}
+	}
+	wantStatus(t, do(t, srv, http.MethodGet, "/v1/datasets/motivating/copies", nil, nil,
+		map[string]string{"If-None-Match": etag}), http.StatusNotModified)
+
+	var truth truthResponse
+	wantStatus(t, do(t, srv, http.MethodGet, "/v1/datasets/motivating/truth", nil, &truth, nil),
+		http.StatusOK)
+	if len(truth.Truth) != ds.NumItems() {
+		t.Fatalf("truth decided for %d items, want %d", len(truth.Truth), ds.NumItems())
+	}
+
+	// A second append invalidates the cached ETag and, once quiesced,
+	// republishes from an INCREMENTAL round.
+	wantStatus(t, do(t, srv, http.MethodPost, "/v1/datasets/motivating/observations",
+		appendRequest{Observations: []dataset.Record{{Source: "S9", Item: "NY", Value: "Albany"}}},
+		nil, nil), http.StatusAccepted)
+	wantStatus(t, do(t, srv, http.MethodPost, "/v1/datasets/motivating/quiesce", nil, &stats, nil),
+		http.StatusOK)
+	if stats.Round != 2 || stats.Algorithm != "INCREMENTAL" || stats.ServedVersion != 2 {
+		t.Fatalf("post-append stats = %+v", stats)
+	}
+	resp = do(t, srv, http.MethodGet, "/v1/datasets/motivating/copies", nil, &copies, nil)
+	wantStatus(t, resp, http.StatusOK)
+	if resp.Header.Get("ETag") == etag {
+		t.Fatal("ETag unchanged after a new round")
+	}
+
+	wantStatus(t, do(t, srv, http.MethodDelete, "/v1/datasets/motivating", nil, nil, nil),
+		http.StatusOK)
+	wantStatus(t, do(t, srv, http.MethodGet, "/v1/datasets/motivating", nil, nil, nil),
+		http.StatusNotFound)
+
+	// Recreating the name must not revive ETags of the deleted dataset:
+	// a stale If-None-Match gets fresh data, not a 304.
+	wantStatus(t, do(t, srv, http.MethodPut, "/v1/datasets/motivating", nil, nil, nil),
+		http.StatusCreated)
+	resp = do(t, srv, http.MethodGet, "/v1/datasets/motivating/copies", nil, &copies, nil)
+	wantStatus(t, resp, http.StatusOK)
+	if resp.Header.Get("ETag") == etag {
+		t.Fatal("recreated dataset reuses the deleted dataset's ETag")
+	}
+	wantStatus(t, do(t, srv, http.MethodGet, "/v1/datasets/motivating/copies", nil, nil,
+		map[string]string{"If-None-Match": etag}), http.StatusOK)
+}
+
+// TestHTTPErrors pins the error surface: unknown paths and datasets,
+// wrong methods, malformed and empty bodies, invalid priors.
+func TestHTTPErrors(t *testing.T) {
+	reg := NewRegistry(Config{})
+	defer reg.Close()
+	srv := httptest.NewServer(NewHandler(reg))
+	defer srv.Close()
+
+	cases := []struct {
+		method, path, body string
+		want               int
+	}{
+		{http.MethodGet, "/nope", "", http.StatusNotFound},
+		{http.MethodPost, "/healthz", "", http.StatusMethodNotAllowed},
+		{http.MethodPost, "/v1/datasets", "", http.StatusMethodNotAllowed},
+		{http.MethodGet, "/v1/datasets/", "", http.StatusNotFound},
+		{http.MethodGet, "/v1/datasets/none", "", http.StatusNotFound},
+		{http.MethodDelete, "/v1/datasets/none", "", http.StatusNotFound},
+		{http.MethodGet, "/v1/datasets/none/copies", "", http.StatusNotFound},
+		{http.MethodGet, "/v1/datasets/none/truth", "", http.StatusNotFound},
+		{http.MethodGet, "/v1/datasets/none/stats", "", http.StatusNotFound},
+		{http.MethodPost, "/v1/datasets/none/quiesce", "", http.StatusNotFound},
+		{http.MethodPost, "/v1/datasets/none/observations", `{"observations":[]}`, http.StatusNotFound},
+		{http.MethodGet, "/v1/datasets/x/y/z", "", http.StatusNotFound},
+		{http.MethodPut, "/v1/datasets/bad", `{"alpha":2}`, http.StatusBadRequest},
+		{http.MethodPut, "/v1/datasets/bad", `{not json`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		req, err := http.NewRequest(c.method, srv.URL+c.path, strings.NewReader(c.body))
+		if err != nil {
+			t.Fatalf("new request: %v", err)
+		}
+		resp, err := srv.Client().Do(req)
+		if err != nil {
+			t.Fatalf("%s %s: %v", c.method, c.path, err)
+		}
+		var er errorResponse
+		json.NewDecoder(resp.Body).Decode(&er)
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Errorf("%s %s: status %d, want %d", c.method, c.path, resp.StatusCode, c.want)
+		} else if er.Error == "" {
+			t.Errorf("%s %s: error response without error message", c.method, c.path)
+		}
+	}
+
+	// Method checks and body validation on an existing dataset.
+	wantStatus(t, do(t, srv, http.MethodPut, "/v1/datasets/d", nil, nil, nil), http.StatusCreated)
+	for _, c := range []struct {
+		method, path string
+		body         any
+		want         int
+	}{
+		{http.MethodGet, "/v1/datasets/d/observations", nil, http.StatusMethodNotAllowed},
+		{http.MethodPost, "/v1/datasets/d/copies", nil, http.StatusMethodNotAllowed},
+		{http.MethodPost, "/v1/datasets/d/truth", nil, http.StatusMethodNotAllowed},
+		{http.MethodPost, "/v1/datasets/d/stats", nil, http.StatusMethodNotAllowed},
+		{http.MethodGet, "/v1/datasets/d/quiesce", nil, http.StatusMethodNotAllowed},
+		{http.MethodPatch, "/v1/datasets/d", nil, http.StatusMethodNotAllowed},
+		{http.MethodPost, "/v1/datasets/d/observations", appendRequest{}, http.StatusBadRequest},
+		{http.MethodPost, "/v1/datasets/d/observations",
+			appendRequest{Observations: []dataset.Record{{Source: "s"}}}, http.StatusBadRequest},
+		{http.MethodPost, "/v1/datasets/d/observations",
+			appendRequest{Truth: []dataset.Record{{Item: "i"}}}, http.StatusBadRequest},
+	} {
+		wantStatus(t, do(t, srv, c.method, c.path, c.body, nil, nil), c.want)
+	}
+
+	// Reads on a dataset with no published round still succeed (round 0).
+	var copies copiesResponse
+	resp := do(t, srv, http.MethodGet, "/v1/datasets/d/copies", nil, &copies, nil)
+	wantStatus(t, resp, http.StatusOK)
+	if copies.Round != 0 || len(copies.Pairs) != 0 || !copies.Converged {
+		t.Fatalf("round-0 copies = %+v", copies)
+	}
+	if want := fmt.Sprintf("%q", "d-g1-v0-r0"); resp.Header.Get("ETag") != want {
+		t.Fatalf("round-0 ETag = %s, want %s", resp.Header.Get("ETag"), want)
+	}
+}

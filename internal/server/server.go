@@ -1,0 +1,529 @@
+// Package server is the serving layer behind cmd/copydetectd: a registry
+// of named datasets that accepts streamed observation appends and keeps a
+// cached copy-detection result per dataset, recomputed asynchronously by
+// a dirty-dataset scheduler.
+//
+// The contract is batch equivalence: every detection round runs the full
+// iterative process (fusion.TruthFinder) on an immutable snapshot of all
+// observations appended so far, so once a dataset quiesces — no pending
+// appends, no in-flight round — its published result is byte-identical
+// (up to wall-clock timers) to a one-shot batch Detect over the same
+// final dataset with the same algorithm, parameters and worker count.
+// Reads never block on detection: they serve the last published round,
+// versioned by an ETag.
+//
+// The first round of a dataset runs HYBRID (there is no previous decision
+// to refine); every later round runs INCREMENTAL, whose warm phase is
+// HYBRID and whose remaining rounds reuse the entry classification of
+// Section V across the rounds of the iterative process. When an append
+// arrives while a round is in flight, the round's snapshot is stale: the
+// scheduler cancels it between iterative rounds (fusion.TruthFinder.Cancel)
+// and reschedules the dataset.
+package server
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"copydetect/internal/bayes"
+	"copydetect/internal/core"
+	"copydetect/internal/dataset"
+	"copydetect/internal/fusion"
+)
+
+// Config tunes a Registry.
+type Config struct {
+	// Params are the copying-model priors used for every dataset that
+	// does not override them. The zero value selects the paper's
+	// defaults (α=0.1, s=0.8, n=100).
+	Params bayes.Params
+	// Options are the detector options used for every dataset that does
+	// not override them; Options.Workers shards each detection round.
+	Options core.Options
+	// Concurrency caps how many datasets may run detection rounds at the
+	// same time (default 1). Rounds for a single dataset never overlap.
+	Concurrency int
+}
+
+// ErrNotFound reports an unknown (or deleted) dataset name.
+var ErrNotFound = fmt.Errorf("server: dataset not found")
+
+// ErrExists reports a Create for a name already registered.
+var ErrExists = fmt.Errorf("server: dataset already exists")
+
+// Published is the immutable outcome of one completed detection round.
+// Everything it points to is a snapshot: readers may use it without
+// locking, concurrently with later appends and rounds.
+type Published struct {
+	// Version is the append version the round's snapshot was built at;
+	// Round counts completed rounds for the dataset, starting at 1.
+	Version uint64
+	Round   int
+	// Algorithm is "HYBRID" for the first round, "INCREMENTAL" after.
+	Algorithm string
+	// Snapshot is the dataset the round detected on.
+	Snapshot *dataset.Dataset
+	// Outcome is the full iterative result (copying pairs, truths,
+	// state, per-round stats).
+	Outcome *fusion.Outcome
+	// Wall is the end-to-end duration of the round.
+	Wall time.Duration
+}
+
+// Managed is one named dataset under registry management. All methods
+// are safe for concurrent use.
+type Managed struct {
+	name   string
+	gen    uint64 // registry-wide creation counter, disambiguates ETags across delete/recreate
+	params bayes.Params
+	opts   core.Options
+	reg    *Registry
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	builder *dataset.Builder
+	version uint64 // bumped on every accepted append batch
+	dirty   bool   // appends not yet covered by a completed round
+	running bool   // a round is in flight
+	closed  bool
+	cancel  chan struct{} // closes to abort the in-flight round
+
+	pub *Published
+}
+
+// Info is a point-in-time summary of a managed dataset.
+type Info struct {
+	Name         string  `json:"name"`
+	Version      uint64  `json:"version"`
+	Sources      int     `json:"sources"`
+	Items        int     `json:"items"`
+	Observations int     `json:"observations"`
+	Converged    bool    `json:"converged"`
+	Workers      int     `json:"workers"`
+	Alpha        float64 `json:"alpha"`
+	S            float64 `json:"s"`
+	N            float64 `json:"n"`
+
+	// Served* describe the published round (zero before the first one).
+	ServedVersion uint64 `json:"servedVersion"`
+	Round         int    `json:"round"`
+	Algorithm     string `json:"algorithm,omitempty"`
+}
+
+// Registry holds the managed datasets and runs their detection rounds on
+// a dirty-dataset scheduler.
+type Registry struct {
+	params      bayes.Params
+	opts        core.Options
+	concurrency int
+
+	mu     sync.Mutex
+	sets   map[string]*Managed
+	gen    uint64 // bumped per Create
+	closed bool
+
+	kick chan struct{}
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewRegistry starts a registry and its scheduler goroutine. Close it to
+// stop detection and release the goroutine.
+func NewRegistry(cfg Config) *Registry {
+	if (cfg.Params == bayes.Params{}) {
+		cfg.Params = bayes.DefaultParams()
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 1
+	}
+	r := &Registry{
+		params:      cfg.Params,
+		opts:        cfg.Options,
+		concurrency: cfg.Concurrency,
+		sets:        make(map[string]*Managed),
+		kick:        make(chan struct{}, 1),
+		stop:        make(chan struct{}),
+	}
+	r.wg.Add(1)
+	go r.scheduler()
+	return r
+}
+
+// Close stops the scheduler, cancels in-flight rounds and waits for them
+// to return. The registry must not be used afterwards.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	sets := make([]*Managed, 0, len(r.sets))
+	for _, m := range r.sets {
+		sets = append(sets, m)
+	}
+	r.mu.Unlock()
+	for _, m := range sets {
+		m.shut()
+	}
+	close(r.stop)
+	r.wg.Wait()
+}
+
+// DatasetConfig overrides registry defaults for one dataset. Zero fields
+// inherit the registry configuration.
+type DatasetConfig struct {
+	Params  bayes.Params
+	Workers int
+}
+
+// Create registers an empty dataset. It fails with ErrExists when the
+// name is taken and validates any overridden priors.
+func (r *Registry) Create(name string, cfg DatasetConfig) (*Managed, error) {
+	if name == "" {
+		return nil, fmt.Errorf("server: empty dataset name")
+	}
+	params := r.params
+	if (cfg.Params != bayes.Params{}) {
+		params = cfg.Params
+		if err := params.Validate(); err != nil {
+			return nil, fmt.Errorf("server: dataset %q: %w", name, err)
+		}
+	}
+	opts := r.opts
+	if cfg.Workers != 0 {
+		opts.Workers = cfg.Workers
+	}
+	m := &Managed{
+		name:    name,
+		params:  params,
+		opts:    opts,
+		reg:     r,
+		builder: dataset.NewBuilder(),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, fmt.Errorf("server: registry closed")
+	}
+	if _, ok := r.sets[name]; ok {
+		return nil, ErrExists
+	}
+	r.gen++
+	m.gen = r.gen
+	r.sets[name] = m
+	return m, nil
+}
+
+// Get returns the managed dataset with the given name.
+func (r *Registry) Get(name string) (*Managed, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.sets[name]
+	return m, ok
+}
+
+// Delete unregisters a dataset, cancelling its in-flight round if any.
+// It reports whether the name existed.
+func (r *Registry) Delete(name string) bool {
+	r.mu.Lock()
+	m, ok := r.sets[name]
+	if ok {
+		delete(r.sets, name)
+	}
+	r.mu.Unlock()
+	if ok {
+		m.shut()
+	}
+	return ok
+}
+
+// List returns the registered dataset names in sorted order.
+func (r *Registry) List() []string {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.sets))
+	for name := range r.sets {
+		names = append(names, name)
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+	return names
+}
+
+// Quiesce blocks until the named dataset has converged — every append is
+// covered by a completed detection round — and returns the published
+// result (nil for a dataset that never received observations). It
+// returns early with the context error on cancellation and ErrNotFound
+// if the dataset is deleted while waiting.
+func (r *Registry) Quiesce(ctx context.Context, name string) (*Published, error) {
+	m, ok := r.Get(name)
+	if !ok {
+		return nil, ErrNotFound
+	}
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			m.mu.Lock()
+			m.cond.Broadcast()
+			m.mu.Unlock()
+		case <-watchDone:
+		}
+	}()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for !m.convergedLocked() && !m.closed && ctx.Err() == nil {
+		m.cond.Wait()
+	}
+	if m.closed {
+		return nil, ErrNotFound
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return m.pub, nil
+}
+
+// kickAsync nudges the scheduler without blocking.
+func (r *Registry) kickAsync() {
+	select {
+	case r.kick <- struct{}{}:
+	default:
+	}
+}
+
+// scheduler is the registry's dirty-dataset loop: whenever kicked it
+// claims every dirty dataset without an in-flight round and runs one
+// detection round for each, at most concurrency at a time.
+func (r *Registry) scheduler() {
+	defer r.wg.Done()
+	sem := make(chan struct{}, r.concurrency)
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-r.kick:
+		}
+		for {
+			m := r.claimDirty()
+			if m == nil {
+				break
+			}
+			select {
+			case sem <- struct{}{}:
+			case <-r.stop:
+				m.mu.Lock()
+				m.running = false
+				m.cond.Broadcast()
+				m.mu.Unlock()
+				return
+			}
+			r.wg.Add(1)
+			go func(m *Managed) {
+				defer r.wg.Done()
+				defer func() { <-sem }()
+				m.runRound()
+				// The dataset may have gone dirty again mid-round
+				// (cancelled or stale snapshot): let the loop reclaim it.
+				r.kickAsync()
+			}(m)
+		}
+	}
+}
+
+// claimDirty picks a dirty, idle dataset (smallest name first, for
+// determinism) and marks it running.
+func (r *Registry) claimDirty() *Managed {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.sets))
+	for name := range r.sets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	sets := make([]*Managed, 0, len(names))
+	for _, name := range names {
+		sets = append(sets, r.sets[name])
+	}
+	r.mu.Unlock()
+	for _, m := range sets {
+		m.mu.Lock()
+		if m.dirty && !m.running && !m.closed {
+			m.running = true
+			m.mu.Unlock()
+			return m
+		}
+		m.mu.Unlock()
+	}
+	return nil
+}
+
+// Append adds a batch of named observations (and optional gold-standard
+// truths, with Record.Source empty) to the dataset and schedules a
+// detection round. It returns the new append version and the total
+// number of observation cells.
+func (m *Managed) Append(obs, truth []dataset.Record) (version uint64, total int, err error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return 0, 0, ErrNotFound
+	}
+	m.builder.AddRecords(obs)
+	for _, tr := range truth {
+		m.builder.SetTruth(tr.Item, tr.Value)
+	}
+	m.version++
+	m.dirty = true
+	if m.cancel != nil {
+		// The in-flight round detects a snapshot this batch is not in;
+		// abort it rather than publish a result we would discard.
+		close(m.cancel)
+		m.cancel = nil
+	}
+	version, total = m.version, m.builder.NumObservations()
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	m.reg.kickAsync()
+	return version, total, nil
+}
+
+// Published returns the last completed round, or nil before the first.
+func (m *Managed) Published() *Published {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.pub
+}
+
+// Converged reports whether the published result covers every append.
+func (m *Managed) Converged() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.convergedLocked()
+}
+
+// ReadState returns the published round together with a convergence
+// flag computed against that same round, plus its ETag — one consistent
+// snapshot for the read endpoints, so a body can never pair one round's
+// data with another round's convergence claim or tag.
+func (m *Managed) ReadState() (pub *Published, converged bool, etag string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.pub, m.convergedLocked(), m.etagLocked()
+}
+
+// Info returns a point-in-time summary.
+func (m *Managed) Info() Info {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	inf := Info{
+		Name:         m.name,
+		Version:      m.version,
+		Sources:      m.builder.NumSources(),
+		Items:        m.builder.NumItems(),
+		Observations: m.builder.NumObservations(),
+		Converged:    m.convergedLocked(),
+		Workers:      m.opts.Workers,
+		Alpha:        m.params.Alpha,
+		S:            m.params.S,
+		N:            m.params.N,
+	}
+	if m.pub != nil {
+		inf.ServedVersion = m.pub.Version
+		inf.Round = m.pub.Round
+		inf.Algorithm = m.pub.Algorithm
+	}
+	return inf
+}
+
+// etagLocked identifies the served result: it changes exactly when a
+// new round is published. The creation generation keeps tags from a
+// deleted dataset invalid against a recreated one of the same name.
+func (m *Managed) etagLocked() string {
+	v, round := uint64(0), 0
+	if m.pub != nil {
+		v, round = m.pub.Version, m.pub.Round
+	}
+	return fmt.Sprintf("%q", fmt.Sprintf("%s-g%d-v%d-r%d", m.name, m.gen, v, round))
+}
+
+func (m *Managed) convergedLocked() bool {
+	if m.dirty || m.running {
+		return false
+	}
+	if m.pub == nil {
+		return m.version == 0 // empty dataset: trivially converged
+	}
+	return m.pub.Version == m.version
+}
+
+// shut marks the dataset closed and aborts its in-flight round.
+func (m *Managed) shut() {
+	m.mu.Lock()
+	m.closed = true
+	if m.cancel != nil {
+		close(m.cancel)
+		m.cancel = nil
+	}
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// runRound executes one detection round: snapshot the builder, run the
+// full iterative process on it, and publish the outcome if the snapshot
+// is still current. Stale or cancelled rounds re-mark the dataset dirty.
+func (m *Managed) runRound() {
+	m.mu.Lock()
+	if m.closed || !m.dirty {
+		m.running = false
+		m.cond.Broadcast()
+		m.mu.Unlock()
+		return
+	}
+	version := m.version
+	m.dirty = false
+	cancel := make(chan struct{})
+	m.cancel = cancel
+	snap := m.builder.Build()
+	round := 1
+	algo := "HYBRID"
+	var det core.Detector = &core.Hybrid{Params: m.params, Opts: m.opts}
+	if m.pub != nil {
+		round = m.pub.Round + 1
+		algo = "INCREMENTAL"
+		det = &core.Incremental{Params: m.params, Opts: m.opts}
+	}
+	m.mu.Unlock()
+
+	// params and opts are immutable after Create; no lock needed here.
+	tf := &fusion.TruthFinder{Params: m.params, Cancel: cancel}
+	start := time.Now()
+	out := tf.Run(snap, det)
+	wall := time.Since(start)
+
+	m.mu.Lock()
+	if m.cancel == cancel {
+		m.cancel = nil
+	}
+	m.running = false
+	if out != nil && !m.closed && m.version == version {
+		m.pub = &Published{
+			Version:   version,
+			Round:     round,
+			Algorithm: algo,
+			Snapshot:  snap,
+			Outcome:   out,
+			Wall:      wall,
+		}
+	} else if !m.closed {
+		// Cancelled or stale: the appends that invalidated this round
+		// already set dirty, but a cancelled round with no version change
+		// cannot happen, so this is belt and braces.
+		m.dirty = true
+	}
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}

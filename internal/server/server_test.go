@@ -1,0 +1,243 @@
+// Acceptance suite for the serving layer. The anchor is batch
+// equivalence: streaming a workload into the registry in batches and
+// quiescing must publish a Result byte-identical (wall-clock timers
+// aside) to a one-shot batch run of the same detector over the same
+// final dataset — for sequential and sharded detection alike.
+package server
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"copydetect/internal/bayes"
+	"copydetect/internal/core"
+	"copydetect/internal/dataset"
+	"copydetect/internal/fusion"
+	"copydetect/internal/gen"
+)
+
+// streamWorkload is a Book-CS-style workload small enough to detect in
+// milliseconds but large enough to keep candidate pairs (and INCREMENTAL
+// refinement rounds) alive.
+func streamWorkload(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	ds, _, err := gen.Generate(gen.Scale(gen.BookCS(11), 0.04))
+	if err != nil {
+		t.Fatalf("generate workload: %v", err)
+	}
+	return ds
+}
+
+// splitBatches cuts records into n contiguous batches.
+func splitBatches(recs []dataset.Record, n int) [][]dataset.Record {
+	batches := make([][]dataset.Record, 0, n)
+	per := (len(recs) + n - 1) / n
+	for start := 0; start < len(recs); start += per {
+		end := start + per
+		if end > len(recs) {
+			end = len(recs)
+		}
+		batches = append(batches, recs[start:end])
+	}
+	return batches
+}
+
+// normalizedResult clears the wall-clock timers, the only fields of a
+// detection Result that legitimately differ between identical runs.
+func normalizedResult(r *core.Result) core.Result {
+	n := *r
+	n.Stats.IndexBuild = 0
+	n.Stats.Detect = 0
+	return n
+}
+
+func quiesce(t *testing.T, reg *Registry, name string) *Published {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	pub, err := reg.Quiesce(ctx, name)
+	if err != nil {
+		t.Fatalf("quiesce %s: %v", name, err)
+	}
+	return pub
+}
+
+// TestStreamedEqualsBatch is the ISSUE's acceptance test: N streamed
+// appends followed by quiesce yield a Result identical to one batch
+// Detect over the same final dataset, for workers 1 and 4. The quiesce
+// after the first batch pins the round sequence (HYBRID first, then
+// INCREMENTAL); the remaining batches are appended with no waiting, so
+// the scheduler's cancellation and re-run paths get exercised too.
+func TestStreamedEqualsBatch(t *testing.T) {
+	ds := streamWorkload(t)
+	recs := dataset.Records(ds)
+	truth := dataset.TruthRecords(ds)
+	batches := splitBatches(recs, 5)
+
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			reg := NewRegistry(Config{Options: core.Options{Workers: workers}})
+			defer reg.Close()
+			m, err := reg.Create("stream", DatasetConfig{})
+			if err != nil {
+				t.Fatalf("create: %v", err)
+			}
+
+			if _, _, err := m.Append(batches[0], nil); err != nil {
+				t.Fatalf("append batch 0: %v", err)
+			}
+			first := quiesce(t, reg, "stream")
+			if first == nil || first.Algorithm != "HYBRID" || first.Round != 1 {
+				t.Fatalf("first round = %+v, want HYBRID round 1", first)
+			}
+			for _, batch := range batches[1:] {
+				if _, _, err := m.Append(batch, nil); err != nil {
+					t.Fatalf("append: %v", err)
+				}
+			}
+			if _, _, err := m.Append(nil, truth); err != nil {
+				t.Fatalf("append truth: %v", err)
+			}
+			pub := quiesce(t, reg, "stream")
+			if pub == nil {
+				t.Fatal("quiesced with no published round")
+			}
+			if pub.Algorithm != "INCREMENTAL" {
+				t.Fatalf("final round ran %s, want INCREMENTAL", pub.Algorithm)
+			}
+			if want := uint64(len(batches) + 1); pub.Version != want {
+				t.Fatalf("published version %d, want %d", pub.Version, want)
+			}
+
+			// Reference: replay the exact same append sequence into a
+			// fresh Builder (reproducing id interning), then run the same
+			// detector once over the final dataset.
+			b := dataset.NewBuilder()
+			for _, batch := range batches {
+				b.AddRecords(batch)
+			}
+			for _, tr := range truth {
+				b.SetTruth(tr.Item, tr.Value)
+			}
+			final := b.Build()
+			if !reflect.DeepEqual(pub.Snapshot, final) {
+				t.Fatal("published snapshot differs from batch-built dataset")
+			}
+
+			params := bayes.DefaultParams()
+			tf := &fusion.TruthFinder{Params: params}
+			want := tf.Run(final, &core.Incremental{Params: params, Opts: core.Options{Workers: workers}})
+
+			got := pub.Outcome
+			if g, w := normalizedResult(got.Copy), normalizedResult(want.Copy); !reflect.DeepEqual(g, w) {
+				t.Fatalf("streamed Result differs from batch Result:\n  got  %d pairs, stats %+v\n  want %d pairs, stats %+v",
+					len(g.Pairs), g.Stats, len(w.Pairs), w.Stats)
+			}
+			if !reflect.DeepEqual(got.Truth, want.Truth) {
+				t.Fatal("streamed truth decisions differ from batch run")
+			}
+			if !reflect.DeepEqual(got.State.A, want.State.A) {
+				t.Fatal("streamed source accuracies differ from batch run")
+			}
+			if got.Rounds != want.Rounds {
+				t.Fatalf("streamed run took %d iterative rounds, batch %d", got.Rounds, want.Rounds)
+			}
+			if len(got.Copy.CopyingPairs()) == 0 {
+				t.Fatal("workload detected no copying pairs; enlarge the preset")
+			}
+		})
+	}
+}
+
+// TestEmptyDatasetQuiesces pins the no-data corner: a freshly created
+// dataset is trivially converged and quiesce returns without a round.
+func TestEmptyDatasetQuiesces(t *testing.T) {
+	reg := NewRegistry(Config{})
+	defer reg.Close()
+	if _, err := reg.Create("empty", DatasetConfig{}); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if pub := quiesce(t, reg, "empty"); pub != nil {
+		t.Fatalf("empty dataset published %+v, want nil", pub)
+	}
+	m, _ := reg.Get("empty")
+	if !m.Converged() {
+		t.Fatal("empty dataset not converged")
+	}
+}
+
+// TestRegistryLifecycle covers create/list/delete and the error paths.
+func TestRegistryLifecycle(t *testing.T) {
+	reg := NewRegistry(Config{})
+	defer reg.Close()
+
+	if _, err := reg.Create("", DatasetConfig{}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := reg.Create("a", DatasetConfig{}); err != nil {
+		t.Fatalf("create a: %v", err)
+	}
+	if _, err := reg.Create("a", DatasetConfig{}); err != ErrExists {
+		t.Fatalf("duplicate create: %v, want ErrExists", err)
+	}
+	if _, err := reg.Create("bad", DatasetConfig{Params: bayes.Params{Alpha: 2, S: 0.8, N: 100}}); err == nil {
+		t.Fatal("invalid priors accepted")
+	}
+	if _, err := reg.Create("b", DatasetConfig{Workers: 3}); err != nil {
+		t.Fatalf("create b: %v", err)
+	}
+	if got := reg.List(); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("List() = %v", got)
+	}
+	if m, _ := reg.Get("b"); m.Info().Workers != 3 {
+		t.Fatalf("dataset b workers = %d, want 3", m.Info().Workers)
+	}
+	if !reg.Delete("a") || reg.Delete("a") {
+		t.Fatal("delete semantics broken")
+	}
+	if _, err := reg.Quiesce(context.Background(), "a"); err != ErrNotFound {
+		t.Fatalf("quiesce deleted: %v, want ErrNotFound", err)
+	}
+}
+
+// TestQuiesceHonorsContext ensures context expiry and dataset deletion
+// both unblock waiters stuck on a dataset that never converges. The
+// dirty flag is set by hand, without kicking the scheduler, so no round
+// ever covers it.
+func TestQuiesceHonorsContext(t *testing.T) {
+	reg := NewRegistry(Config{})
+	defer reg.Close()
+	m, err := reg.Create("stuck", DatasetConfig{})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	m.mu.Lock()
+	m.dirty = true
+	m.mu.Unlock()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := reg.Quiesce(ctx, "stuck"); err != context.DeadlineExceeded {
+		t.Fatalf("quiesce on stuck dataset: %v, want DeadlineExceeded", err)
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := reg.Quiesce(context.Background(), "stuck")
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the waiter block
+	reg.Delete("stuck")
+	select {
+	case err := <-errc:
+		if err != ErrNotFound {
+			t.Fatalf("quiesce on deleted dataset: %v, want ErrNotFound", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("delete did not unblock quiesce")
+	}
+}
