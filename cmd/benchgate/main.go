@@ -1,0 +1,155 @@
+// Command benchgate is the CI performance-regression gate: it compares
+// two `go test -bench` outputs (the pull request's and the main
+// branch's), prints a per-benchmark table, and fails when the geometric
+// mean of the ns/op ratios regresses beyond a threshold.
+//
+// Usage:
+//
+//	benchgate -old main.txt -new pr.txt [-max-regression 0.15]
+//
+// Each file should come from the same benchmark set run with -count N
+// (N >= 3 recommended); benchgate takes the per-benchmark median, so a
+// single noisy iteration does not fail a build. benchstat remains the
+// human-readable report; benchgate is the machine-checkable verdict.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9][0-9.eE+]*) ns/op`)
+
+// parseBench collects the ns/op samples of every benchmark in a
+// `go test -bench` output.
+func parseBench(r io.Reader) (map[string][]float64, error) {
+	samples := make(map[string][]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchgate: bad ns/op in %q: %w", sc.Text(), err)
+		}
+		samples[m[1]] = append(samples[m[1]], v)
+	}
+	return samples, sc.Err()
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// gate compares the two outputs and returns the geometric-mean ratio
+// (new/old) across the benchmarks they share, writing the table to w.
+func gate(oldR, newR io.Reader, w io.Writer) (float64, error) {
+	oldS, err := parseBench(oldR)
+	if err != nil {
+		return 0, err
+	}
+	newS, err := parseBench(newR)
+	if err != nil {
+		return 0, err
+	}
+	var names []string
+	for name := range oldS {
+		if _, ok := newS[name]; ok {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return 0, fmt.Errorf("benchgate: the two runs share no benchmarks")
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "%-60s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "ratio")
+	logSum := 0.0
+	for _, name := range names {
+		o, n := median(oldS[name]), median(newS[name])
+		if o <= 0 || n <= 0 {
+			return 0, fmt.Errorf("benchgate: non-positive median for %s", name)
+		}
+		ratio := n / o
+		logSum += math.Log(ratio)
+		fmt.Fprintf(w, "%-60s %14.0f %14.0f %8.3f\n", name, o, n, ratio)
+	}
+	geomean := math.Exp(logSum / float64(len(names)))
+	fmt.Fprintf(w, "\ngeomean ratio (new/old) over %d benchmarks: %.3f\n", len(names), geomean)
+	return geomean, nil
+}
+
+func main() {
+	oldPath := ""
+	newPath := ""
+	maxRegression := 0.15
+	usage := func() {
+		fmt.Fprintf(os.Stderr, "usage: benchgate -old FILE -new FILE [-max-regression 0.15]\n")
+		os.Exit(2)
+	}
+	args := os.Args[1:]
+	for i := 0; i < len(args); i++ {
+		if i+1 >= len(args) {
+			usage() // every flag takes a value
+		}
+		switch args[i] {
+		case "-old":
+			i++
+			oldPath = args[i]
+		case "-new":
+			i++
+			newPath = args[i]
+		case "-max-regression":
+			i++
+			v, err := strconv.ParseFloat(args[i], 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchgate: bad -max-regression: %v\n", err)
+				os.Exit(2)
+			}
+			maxRegression = v
+		default:
+			usage()
+		}
+	}
+	if oldPath == "" || newPath == "" {
+		fmt.Fprintf(os.Stderr, "usage: benchgate -old FILE -new FILE [-max-regression 0.15]\n")
+		os.Exit(2)
+	}
+	oldF, err := os.Open(oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	defer oldF.Close()
+	newF, err := os.Open(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	defer newF.Close()
+	geomean, err := gate(oldF, newF, os.Stdout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	if geomean > 1+maxRegression {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL: geomean %.3f exceeds the %.0f%% regression budget\n",
+			geomean, maxRegression*100)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: OK (budget %.0f%%)\n", maxRegression*100)
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+const oldRun = `
+goos: linux
+BenchmarkHybridWorkers/book-cs/workers=1-8         3   1000000 ns/op   12 B/op
+BenchmarkHybridWorkers/book-cs/workers=1-8         3   1040000 ns/op
+BenchmarkHybridWorkers/book-cs/workers=1-8         3    960000 ns/op
+BenchmarkIncrementalWorkers/book-cs-8              3    500000 ns/op
+BenchmarkIncrementalWorkers/book-cs-8              3    520000 ns/op
+BenchmarkIncrementalWorkers/book-cs-8              3    480000 ns/op
+BenchmarkOnlyInOld-8                               3    100000 ns/op
+PASS
+`
+
+func newRun(hybridNs, incNs int) string {
+	var b strings.Builder
+	for i := -1; i <= 1; i++ {
+		b.WriteString("BenchmarkHybridWorkers/book-cs/workers=1-8  3  ")
+		b.WriteString(strings.TrimSpace(strings.Repeat(" ", 1)))
+		b.WriteString(itoa(hybridNs+i*10000) + " ns/op\n")
+		b.WriteString("BenchmarkIncrementalWorkers/book-cs-8  3  " + itoa(incNs+i*5000) + " ns/op\n")
+	}
+	b.WriteString("BenchmarkOnlyInNew-8  3  42 ns/op\nPASS\n")
+	return b.String()
+}
+
+func itoa(n int) string {
+	var b []byte
+	if n == 0 {
+		return "0"
+	}
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+func TestGateComputesMedianGeomean(t *testing.T) {
+	// New run: hybrid 10% slower, incremental 10% faster -> geomean ~1.
+	var out bytes.Buffer
+	g, err := gate(strings.NewReader(oldRun), strings.NewReader(newRun(1100000, 450000)), &out)
+	if err != nil {
+		t.Fatalf("gate: %v", err)
+	}
+	want := math.Sqrt(1.1 * 0.9)
+	if math.Abs(g-want) > 0.001 {
+		t.Fatalf("geomean = %.4f, want %.4f\n%s", g, want, out.String())
+	}
+	// Benchmarks present on only one side must not count.
+	if s := out.String(); strings.Contains(s, "OnlyInOld") || strings.Contains(s, "OnlyInNew") {
+		t.Fatalf("one-sided benchmarks in table:\n%s", s)
+	}
+}
+
+func TestGateFlagsRegression(t *testing.T) {
+	var out bytes.Buffer
+	// Both 30% slower: geomean 1.3, over any 15% budget.
+	g, err := gate(strings.NewReader(oldRun), strings.NewReader(newRun(1300000, 650000)), &out)
+	if err != nil {
+		t.Fatalf("gate: %v", err)
+	}
+	if g < 1.25 || g > 1.35 {
+		t.Fatalf("geomean = %.3f, want ~1.3", g)
+	}
+	// And an improvement stays comfortably under 1.
+	g, err = gate(strings.NewReader(oldRun), strings.NewReader(newRun(700000, 350000)), &out)
+	if err != nil {
+		t.Fatalf("gate: %v", err)
+	}
+	if g >= 1 {
+		t.Fatalf("improvement scored geomean %.3f", g)
+	}
+}
+
+func TestGateErrors(t *testing.T) {
+	var out bytes.Buffer
+	if _, err := gate(strings.NewReader(oldRun), strings.NewReader("no benchmarks here"), &out); err == nil {
+		t.Error("disjoint runs accepted")
+	}
+	if _, err := gate(strings.NewReader(""), strings.NewReader(""), &out); err == nil {
+		t.Error("empty runs accepted")
+	}
+}

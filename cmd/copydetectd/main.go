@@ -9,11 +9,20 @@
 //
 //	copydetectd [-addr :8377] [-alpha 0.1] [-s 0.8] [-n 100]
 //	            [-workers 0] [-concurrency 1]
+//	            [-data-dir DIR] [-fsync] [-snapshot-every 1]
 //
 // -workers 0 (the default) shards each detection round over one
 // goroutine per CPU; -concurrency caps how many datasets detect at the
-// same time. See the package comment of internal/server for the wire
-// protocol and the batch-equivalence guarantee.
+// same time.
+//
+// With -data-dir the daemon is durable: every dataset keeps a
+// write-ahead log and periodic snapshots under the directory, appends
+// are acknowledged only once logged (fsync'd unless -fsync=false), and
+// a restart — graceful or SIGKILL — recovers every dataset, replays the
+// log tail and re-converges, publishing the same results an
+// uninterrupted process would have. See the package comments of
+// internal/server and internal/wal for the wire protocol, the on-disk
+// format and the crash-recovery guarantee.
 package main
 
 import (
@@ -22,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -35,8 +45,9 @@ import (
 
 // options carries the parsed command line; split out for testability.
 type options struct {
-	addr string
-	cfg  server.Config
+	addr     string
+	addrFile string
+	cfg      server.Config
 }
 
 // parseFlags parses args (without the program name) into options,
@@ -44,11 +55,15 @@ type options struct {
 func parseFlags(args []string) (options, error) {
 	fs := flag.NewFlagSet("copydetectd", flag.ContinueOnError)
 	addr := fs.String("addr", ":8377", "listen address")
+	addrFile := fs.String("addr-file", "", "write the bound listen address to this file once serving (for scripts and tests)")
 	alpha := fs.Float64("alpha", 0.1, "a-priori copying probability α")
 	s := fs.Float64("s", 0.8, "copy selectivity s")
 	n := fs.Float64("n", 100, "number of false values per item n")
 	workers := fs.Int("workers", 0, "detection worker goroutines per round (0 = one per CPU, 1 = sequential)")
 	concurrency := fs.Int("concurrency", 1, "max datasets detecting concurrently")
+	dataDir := fs.String("data-dir", "", "durable storage directory (empty = in-memory only)")
+	fsync := fs.Bool("fsync", true, "fsync the write-ahead log before acknowledging appends (with -data-dir)")
+	snapEvery := fs.Int("snapshot-every", 1, "snapshot and trim a dataset's log every N published rounds (with -data-dir)")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
 	}
@@ -59,38 +74,75 @@ func parseFlags(args []string) (options, error) {
 	if *concurrency < 1 {
 		return options{}, fmt.Errorf("copydetectd: -concurrency %d must be at least 1", *concurrency)
 	}
+	if *snapEvery < 1 {
+		return options{}, fmt.Errorf("copydetectd: -snapshot-every %d must be at least 1", *snapEvery)
+	}
 	w := *workers
 	if w <= 0 {
 		w = pool.Auto()
 	}
-	opt := options{addr: *addr}
+	opt := options{addr: *addr, addrFile: *addrFile}
 	opt.cfg.Params = p
 	opt.cfg.Options.Workers = w
 	opt.cfg.Concurrency = *concurrency
+	opt.cfg.DataDir = *dataDir
+	opt.cfg.Fsync = *fsync
+	opt.cfg.SnapshotEvery = *snapEvery
 	return opt, nil
 }
 
 func main() {
-	opt, err := parseFlags(os.Args[1:])
+	os.Exit(run(os.Args[1:]))
+}
+
+// run is the whole daemon: parse, recover, serve, shut down. It returns
+// the process exit code (split from main so the crash-recovery test can
+// re-exec the test binary as a real daemon process).
+func run(args []string) int {
+	opt, err := parseFlags(args)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "copydetectd: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
 
-	reg := server.NewRegistry(opt.cfg)
-	srv := &http.Server{Addr: opt.addr, Handler: logRequests(server.NewHandler(reg))}
+	reg, err := server.Open(opt.cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "copydetectd: %v\n", err)
+		return 1
+	}
+	ln, err := net.Listen("tcp", opt.addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "copydetectd: %v\n", err)
+		reg.Close()
+		return 1
+	}
+	if opt.addrFile != "" {
+		if err := os.WriteFile(opt.addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "copydetectd: %v\n", err)
+			reg.Close()
+			return 1
+		}
+	}
+	srv := &http.Server{Handler: logRequests(server.NewHandler(reg))}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("copydetectd: listening on %s (workers=%d, concurrency=%d)",
-		opt.addr, opt.cfg.Options.Workers, opt.cfg.Concurrency)
+	go func() { errc <- srv.Serve(ln) }()
+	durability := "in-memory"
+	if opt.cfg.DataDir != "" {
+		durability = fmt.Sprintf("data-dir=%s fsync=%t snapshot-every=%d",
+			opt.cfg.DataDir, opt.cfg.Fsync, opt.cfg.SnapshotEvery)
+	}
+	log.Printf("copydetectd: listening on %s (workers=%d, concurrency=%d, %s)",
+		ln.Addr(), opt.cfg.Options.Workers, opt.cfg.Concurrency, durability)
 
 	select {
 	case err := <-errc:
-		log.Fatalf("copydetectd: %v", err)
+		log.Printf("copydetectd: %v", err)
+		reg.Close()
+		return 1
 	case <-ctx.Done():
 	}
 	log.Printf("copydetectd: shutting down")
@@ -100,6 +152,7 @@ func main() {
 		log.Printf("copydetectd: shutdown: %v", err)
 	}
 	reg.Close()
+	return 0
 }
 
 // logRequests is a one-line access log.

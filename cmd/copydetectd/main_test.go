@@ -21,9 +21,15 @@ func TestParseFlags(t *testing.T) {
 		t.Fatalf("default params = %+v", p)
 	}
 
+	if opt.cfg.DataDir != "" || !opt.cfg.Fsync || opt.cfg.SnapshotEvery != 1 {
+		t.Fatalf("durability defaults = %+v", opt.cfg)
+	}
+
 	opt, err = parseFlags([]string{
 		"-addr", "127.0.0.1:9000", "-alpha", "0.2", "-s", "0.5", "-n", "40",
 		"-workers", "3", "-concurrency", "2",
+		"-data-dir", "/tmp/cdd", "-fsync=false", "-snapshot-every", "4",
+		"-addr-file", "/tmp/cdd.addr",
 	})
 	if err != nil {
 		t.Fatalf("full flags: %v", err)
@@ -34,12 +40,17 @@ func TestParseFlags(t *testing.T) {
 	if p := opt.cfg.Params; p.Alpha != 0.2 || p.S != 0.5 || p.N != 40 {
 		t.Fatalf("full-flag params = %+v", p)
 	}
+	if opt.cfg.DataDir != "/tmp/cdd" || opt.cfg.Fsync || opt.cfg.SnapshotEvery != 4 ||
+		opt.addrFile != "/tmp/cdd.addr" {
+		t.Fatalf("durability flags = %+v", opt)
+	}
 
 	for _, bad := range [][]string{
 		{"-alpha", "0.7"},
 		{"-s", "1.5"},
 		{"-n", "1"},
 		{"-concurrency", "0"},
+		{"-snapshot-every", "0"},
 		{"-nonsense"},
 	} {
 		if _, err := parseFlags(bad); err == nil {

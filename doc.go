@@ -64,6 +64,21 @@
 // batch-equivalence guarantee documented in DESIGN.md. See
 // examples/server for a streaming client.
 //
+// # Durability
+//
+// With -data-dir, copydetectd keeps every dataset on disk: appends are
+// acknowledged only after they are written to a checksummed,
+// segment-rotated write-ahead log (internal/wal; fsync'd unless
+// -fsync=false), and a background compactor snapshots each published
+// round — dataset and outcome in a binary, bit-exact codec — and trims
+// the log behind it. A restarted daemon (graceful stop or SIGKILL)
+// reloads the newest snapshot, replays the log tail, truncates any torn
+// record off the end, and re-converges, extending the batch-equivalence
+// guarantee across process death: the recovered, quiesced result is
+// byte-identical (timers aside) to an uninterrupted run over the same
+// acknowledged appends. The WAL format, snapshot cadence and recovery
+// sequence are documented in DESIGN.md.
+//
 // # Quick start
 //
 //	b := copydetect.NewBuilder()

@@ -147,7 +147,7 @@ func post(method, url string, body any) {
 		var er struct {
 			Error string `json:"error"`
 		}
-		json.NewDecoder(resp.Body).Decode(&er)
+		_ = json.NewDecoder(resp.Body).Decode(&er) // best effort: the status alone is reported otherwise
 		check(fmt.Errorf("%s %s: %s (%s)", method, url, resp.Status, er.Error))
 	}
 }

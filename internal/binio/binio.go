@@ -1,0 +1,181 @@
+// Package binio provides the little sticky-error binary encoder and
+// decoder shared by the durable-storage codecs: datasets, detection
+// results and fusion outcomes all serialize through it, so every layer
+// agrees on one wire vocabulary (uvarints for counts and ids, IEEE-754
+// bits for floats, length-prefixed strings).
+//
+// Both Writer and Reader latch their first error and turn every later
+// call into a no-op, so codec code reads as straight-line field lists
+// with a single error check at the end.
+package binio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// maxBlob bounds a single length-prefixed string or byte slice; a
+// larger prefix is treated as corruption, not attempted as an
+// allocation.
+const maxBlob = 1 << 28
+
+// Writer encodes values onto an io.Writer, latching the first error.
+type Writer struct {
+	w   io.Writer
+	buf [binary.MaxVarintLen64]byte
+	err error
+}
+
+// NewWriter returns a Writer over w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Err returns the first error encountered, if any.
+func (w *Writer) Err() error { return w.err }
+
+func (w *Writer) write(p []byte) {
+	if w.err != nil {
+		return
+	}
+	_, w.err = w.w.Write(p)
+}
+
+// Byte writes one raw byte.
+func (w *Writer) Byte(b byte) { w.write([]byte{b}) }
+
+// Bool writes a bool as one byte.
+func (w *Writer) Bool(b bool) {
+	if b {
+		w.Byte(1)
+	} else {
+		w.Byte(0)
+	}
+}
+
+// Uvarint writes an unsigned varint.
+func (w *Writer) Uvarint(x uint64) {
+	n := binary.PutUvarint(w.buf[:], x)
+	w.write(w.buf[:n])
+}
+
+// Int writes a non-negative int as a uvarint.
+func (w *Writer) Int(x int) {
+	if x < 0 {
+		if w.err == nil {
+			w.err = fmt.Errorf("binio: negative count %d", x)
+		}
+		return
+	}
+	w.Uvarint(uint64(x))
+}
+
+// Float64 writes the IEEE-754 bits of f, little-endian, so values
+// round-trip bit-exactly.
+func (w *Writer) Float64(f float64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(f))
+	w.write(b[:])
+}
+
+// String writes a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.Uvarint(uint64(len(s)))
+	w.write([]byte(s))
+}
+
+// Reader decodes values from an io.Reader, latching the first error.
+type Reader struct {
+	r   io.Reader
+	one [1]byte
+	err error
+}
+
+// NewReader returns a Reader over r. The Reader never reads past what
+// it decodes, so several codecs can share one underlying stream.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// Err returns the first error encountered, if any.
+func (r *Reader) Err() error { return r.err }
+
+// fail records err (once) and returns the zero value convenience.
+func (r *Reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+// ReadByte implements io.ByteReader for binary.ReadUvarint.
+func (r *Reader) ReadByte() (byte, error) {
+	if r.err != nil {
+		return 0, r.err
+	}
+	if _, err := io.ReadFull(r.r, r.one[:]); err != nil {
+		r.fail(err)
+		return 0, err
+	}
+	return r.one[0], nil
+}
+
+// Byte reads one raw byte.
+func (r *Reader) Byte() byte {
+	b, _ := r.ReadByte()
+	return b
+}
+
+// Bool reads a bool written by Writer.Bool.
+func (r *Reader) Bool() bool { return r.Byte() != 0 }
+
+// Uvarint reads an unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	x, err := binary.ReadUvarint(r)
+	if err != nil {
+		r.fail(err)
+		return 0
+	}
+	return x
+}
+
+// Int reads a count written by Writer.Int, failing on values beyond
+// max (guarding slice allocations against corrupt input).
+func (r *Reader) Int(max int) int {
+	x := r.Uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if x > uint64(max) {
+		r.fail(fmt.Errorf("binio: count %d exceeds limit %d", x, max))
+		return 0
+	}
+	return int(x)
+}
+
+// Float64 reads an IEEE-754 double written by Writer.Float64.
+func (r *Reader) Float64() float64 {
+	if r.err != nil {
+		return 0
+	}
+	var b [8]byte
+	if _, err := io.ReadFull(r.r, b[:]); err != nil {
+		r.fail(err)
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b[:]))
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.Int(maxBlob)
+	if r.err != nil || n == 0 {
+		return ""
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r.r, b); err != nil {
+		r.fail(err)
+		return ""
+	}
+	return string(b)
+}

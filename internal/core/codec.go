@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"copydetect/internal/binio"
+	"copydetect/internal/dataset"
+)
+
+// Result and Stats binary encode/decode: the detection half of the
+// serving layer's snapshot format. Floats are stored as IEEE-754 bits,
+// so a decoded Result is byte-identical to the encoded one — the
+// property the durable server's crash-recovery guarantee is built on.
+
+const maxPairs = 1 << 28
+
+// EncodeStats writes s in the binary snapshot format.
+func EncodeStats(w *binio.Writer, s Stats) {
+	w.Uvarint(uint64(s.Computations))
+	w.Uvarint(uint64(s.PairsConsidered))
+	w.Uvarint(uint64(s.ValuesExamined))
+	w.Uvarint(uint64(s.EntriesScanned))
+	w.Int(s.Rounds)
+	w.Uvarint(uint64(s.IndexBuild))
+	w.Uvarint(uint64(s.Detect))
+}
+
+// DecodeStats reads stats written by EncodeStats.
+func DecodeStats(r *binio.Reader) Stats {
+	return Stats{
+		Computations:    int64(r.Uvarint()),
+		PairsConsidered: int64(r.Uvarint()),
+		ValuesExamined:  int64(r.Uvarint()),
+		EntriesScanned:  int64(r.Uvarint()),
+		Rounds:          r.Int(1 << 30),
+		IndexBuild:      time.Duration(r.Uvarint()),
+		Detect:          time.Duration(r.Uvarint()),
+	}
+}
+
+// EncodeResult writes res in the binary snapshot format. A nil result
+// is encoded as absent and decodes back to nil.
+func EncodeResult(w *binio.Writer, res *Result) {
+	w.Bool(res != nil)
+	if res == nil {
+		return
+	}
+	w.Int(res.NumSources)
+	w.Int(len(res.Pairs))
+	for _, pr := range res.Pairs {
+		w.Uvarint(uint64(pr.S1))
+		w.Uvarint(uint64(pr.S2))
+		w.Float64(pr.CTo)
+		w.Float64(pr.CFrom)
+		w.Float64(pr.PrIndep)
+		w.Float64(pr.PrTo)
+		w.Float64(pr.PrFrom)
+		w.Bool(pr.Copying)
+	}
+	EncodeStats(w, res.Stats)
+}
+
+// DecodeResult reads a result written by EncodeResult.
+func DecodeResult(r *binio.Reader) (*Result, error) {
+	if !r.Bool() {
+		if err := r.Err(); err != nil {
+			return nil, fmt.Errorf("core: decode result: %w", err)
+		}
+		return nil, nil
+	}
+	res := &Result{NumSources: r.Int(maxPairs)}
+	n := r.Int(maxPairs)
+	if n > 0 {
+		res.Pairs = make([]PairResult, n)
+	}
+	for i := range res.Pairs {
+		res.Pairs[i] = PairResult{
+			S1:      dataset.SourceID(r.Uvarint()),
+			S2:      dataset.SourceID(r.Uvarint()),
+			CTo:     r.Float64(),
+			CFrom:   r.Float64(),
+			PrIndep: r.Float64(),
+			PrTo:    r.Float64(),
+			PrFrom:  r.Float64(),
+			Copying: r.Bool(),
+		}
+	}
+	res.Stats = DecodeStats(r)
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("core: decode result: %w", err)
+	}
+	for i, pr := range res.Pairs {
+		if pr.S1 < 0 || pr.S2 < 0 || int(pr.S1) >= res.NumSources || int(pr.S2) >= res.NumSources {
+			return nil, fmt.Errorf("core: decode result: pair %d references source out of range", i)
+		}
+	}
+	return res, nil
+}

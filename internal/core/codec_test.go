@@ -1,0 +1,75 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"copydetect/internal/binio"
+)
+
+func TestResultCodecRoundtrip(t *testing.T) {
+	res := &Result{
+		NumSources: 7,
+		Pairs: []PairResult{
+			{S1: 0, S2: 3, CTo: 12.25, CFrom: -3.5, PrIndep: 0.015625, PrTo: 0.75, PrFrom: 0.234375, Copying: true},
+			{S1: 2, S2: 6, CTo: math.Inf(-1), CFrom: 1e-300, PrIndep: 1, Copying: false},
+			{S1: 4, S2: 5, CTo: 0.1 + 0.2, CFrom: math.SmallestNonzeroFloat64, PrTo: math.MaxFloat64},
+		},
+		Stats: Stats{
+			Computations:    123456789,
+			PairsConsidered: 21,
+			ValuesExamined:  99,
+			EntriesScanned:  17,
+			Rounds:          3,
+			IndexBuild:      250 * time.Microsecond,
+			Detect:          3 * time.Millisecond,
+		},
+	}
+	var buf bytes.Buffer
+	w := binio.NewWriter(&buf)
+	EncodeResult(w, res)
+	if err := w.Err(); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := DecodeResult(binio.NewReader(&buf))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, res) {
+		t.Fatalf("roundtrip mismatch:\n got  %+v\n want %+v", got, res)
+	}
+}
+
+func TestResultCodecNilAndErrors(t *testing.T) {
+	var buf bytes.Buffer
+	w := binio.NewWriter(&buf)
+	EncodeResult(w, nil)
+	if err := w.Err(); err != nil {
+		t.Fatalf("encode nil: %v", err)
+	}
+	got, err := DecodeResult(binio.NewReader(&buf))
+	if err != nil || got != nil {
+		t.Fatalf("nil roundtrip = %v, %v", got, err)
+	}
+
+	if _, err := DecodeResult(binio.NewReader(bytes.NewReader(nil))); err == nil {
+		t.Error("empty stream accepted")
+	}
+	// Pair referencing a source beyond NumSources.
+	buf.Reset()
+	w = binio.NewWriter(&buf)
+	EncodeResult(w, &Result{NumSources: 2, Pairs: []PairResult{{S1: 1, S2: 9}}})
+	if _, err := DecodeResult(binio.NewReader(&buf)); err == nil {
+		t.Error("out-of-range pair accepted")
+	}
+	// Truncated stream.
+	buf.Reset()
+	w = binio.NewWriter(&buf)
+	EncodeResult(w, &Result{NumSources: 2, Pairs: []PairResult{{S1: 0, S2: 1}}})
+	if _, err := DecodeResult(binio.NewReader(bytes.NewReader(buf.Bytes()[:buf.Len()-4]))); err == nil {
+		t.Error("truncated stream accepted")
+	}
+}

@@ -1,0 +1,131 @@
+package dataset
+
+import (
+	"fmt"
+
+	"copydetect/internal/binio"
+)
+
+// The binary dataset codec is the snapshot format of the durable
+// serving layer: a Dataset carries the complete state of the Builder
+// that produced it — source, item and value names in id order, every
+// observation, and the gold standard — so encoding the published
+// snapshot and rebuilding a Builder from the decoded Dataset
+// (NewBuilderFromDataset) restores streaming-append state exactly,
+// including the id assignment that makes replayed appends reproduce
+// batch results.
+
+const (
+	binaryMagic   = "CDS\x01"
+	maxDimension  = 1 << 28 // sources, items, values, observations
+	maxItemValues = 1 << 24
+)
+
+// EncodeDataset writes ds in the binary snapshot format.
+func EncodeDataset(w *binio.Writer, ds *Dataset) {
+	w.String(binaryMagic)
+	w.Int(ds.NumSources())
+	for _, s := range ds.SourceNames {
+		w.String(s)
+	}
+	w.Int(ds.NumItems())
+	for d, name := range ds.ItemNames {
+		w.String(name)
+		w.Int(len(ds.ValueNames[d]))
+		for _, v := range ds.ValueNames[d] {
+			w.String(v)
+		}
+	}
+	w.Int(ds.NumObservations())
+	for s, obs := range ds.BySource {
+		for _, o := range obs {
+			w.Uvarint(uint64(s))
+			w.Uvarint(uint64(o.Item))
+			w.Uvarint(uint64(o.Value))
+		}
+	}
+	w.Bool(ds.Truth != nil)
+	if ds.Truth != nil {
+		for _, v := range ds.Truth {
+			w.Uvarint(uint64(v + 1)) // NoValue (-1) encodes as 0
+		}
+	}
+}
+
+// DecodeDataset reads a dataset written by EncodeDataset and returns it
+// in canonical Builder-built form.
+func DecodeDataset(r *binio.Reader) (*Dataset, error) {
+	if m := r.String(); r.Err() == nil && m != binaryMagic {
+		return nil, fmt.Errorf("dataset: bad binary magic %q", m)
+	}
+	b := NewBuilder()
+	numSources := r.Int(maxDimension)
+	for i := 0; i < numSources && r.Err() == nil; i++ {
+		b.Source(r.String())
+	}
+	numItems := r.Int(maxDimension)
+	for i := 0; i < numItems && r.Err() == nil; i++ {
+		d := b.Item(r.String())
+		numValues := r.Int(maxItemValues)
+		for j := 0; j < numValues && r.Err() == nil; j++ {
+			b.Value(d, r.String())
+		}
+	}
+	numObs := r.Int(maxDimension)
+	for i := 0; i < numObs && r.Err() == nil; i++ {
+		s := SourceID(r.Uvarint())
+		d := ItemID(r.Uvarint())
+		v := ValueID(r.Uvarint())
+		if int(s) >= numSources || int(d) >= numItems || s < 0 || d < 0 {
+			return nil, fmt.Errorf("dataset: binary observation %d references source %d item %d out of range", i, s, d)
+		}
+		b.AddIDs(s, d, v)
+	}
+	if r.Bool() {
+		for d := 0; d < numItems && r.Err() == nil; d++ {
+			if v := ValueID(r.Uvarint()) - 1; v != NoValue {
+				b.SetTruthIDs(ItemID(d), v)
+			}
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: decode binary: %w", err)
+	}
+	ds := b.Build()
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// NewBuilderFromDataset reconstructs the Builder state that produced
+// ds: interning tables in the dataset's id order, all observations, and
+// the gold standard. Appending further records to the returned Builder
+// continues the exact id assignment of the original stream, which is
+// what lets a recovered server replay its write-ahead log on top of a
+// snapshot and still publish byte-identical results.
+func NewBuilderFromDataset(ds *Dataset) *Builder {
+	b := NewBuilder()
+	for _, s := range ds.SourceNames {
+		b.Source(s)
+	}
+	for d, name := range ds.ItemNames {
+		id := b.Item(name)
+		for _, v := range ds.ValueNames[d] {
+			b.Value(id, v)
+		}
+	}
+	for s, obs := range ds.BySource {
+		for _, o := range obs {
+			b.AddIDs(SourceID(s), o.Item, o.Value)
+		}
+	}
+	if ds.Truth != nil {
+		for d, v := range ds.Truth {
+			if v != NoValue {
+				b.SetTruthIDs(ItemID(d), v)
+			}
+		}
+	}
+	return b
+}

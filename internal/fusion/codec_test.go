@@ -1,0 +1,66 @@
+package fusion
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"copydetect/internal/binio"
+	"copydetect/internal/core"
+	"copydetect/internal/dataset"
+)
+
+// TestOutcomeCodecRoundtrip runs the real iterative process and checks
+// the outcome survives encode/decode bit-exactly — the property the
+// durable server's snapshots depend on.
+func TestOutcomeCodecRoundtrip(t *testing.T) {
+	ds, _ := dataset.Motivating()
+	p := exampleParams()
+	tf := &TruthFinder{Params: p}
+	out := tf.Run(ds, &core.Hybrid{Params: p})
+	if out == nil {
+		t.Fatal("Run returned nil")
+	}
+
+	var buf bytes.Buffer
+	w := binio.NewWriter(&buf)
+	EncodeOutcome(w, out)
+	if err := w.Err(); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := DecodeOutcome(binio.NewReader(&buf))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, out) {
+		t.Fatalf("outcome did not survive the roundtrip:\n got  %+v\n want %+v", got, out)
+	}
+
+	// With the footnote-2 popularity table present.
+	tf = &TruthFinder{Params: p, UseValueDist: true}
+	out = tf.Run(ds, &core.Hybrid{Params: p})
+	buf.Reset()
+	w = binio.NewWriter(&buf)
+	EncodeOutcome(w, out)
+	got, err = DecodeOutcome(binio.NewReader(&buf))
+	if err != nil {
+		t.Fatalf("decode with Pop: %v", err)
+	}
+	if !reflect.DeepEqual(got, out) {
+		t.Fatal("outcome with popularity table did not survive the roundtrip")
+	}
+}
+
+func TestOutcomeCodecRejectsTruncation(t *testing.T) {
+	ds, _ := dataset.Motivating()
+	p := exampleParams()
+	out := (&TruthFinder{Params: p}).Run(ds, &core.Hybrid{Params: p})
+	var buf bytes.Buffer
+	w := binio.NewWriter(&buf)
+	EncodeOutcome(w, out)
+	for _, n := range []int{0, 1, buf.Len() / 2, buf.Len() - 1} {
+		if _, err := DecodeOutcome(binio.NewReader(bytes.NewReader(buf.Bytes()[:n]))); err == nil {
+			t.Errorf("truncation to %d bytes accepted", n)
+		}
+	}
+}

@@ -268,8 +268,14 @@ func (h *handler) append(w http.ResponseWriter, req *http.Request, name string) 
 		}
 	}
 	version, total, err := m.Append(ar.Observations, ar.Truth)
-	if err != nil {
+	switch {
+	case errors.Is(err, ErrNotFound):
 		writeErr(w, http.StatusNotFound, err.Error())
+		return
+	case err != nil:
+		// A durable registry refused the batch because it could not be
+		// logged; nothing was applied, so the client may retry.
+		writeErr(w, http.StatusInternalServerError, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusAccepted, appendResponse{
@@ -380,7 +386,9 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	// The status line is already on the wire; an encode failure here is
+	// a dropped client connection, which has no remaining recourse.
+	_ = enc.Encode(v)
 }
 
 func writeErr(w http.ResponseWriter, code int, msg string) {

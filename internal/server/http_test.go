@@ -233,3 +233,91 @@ func TestHTTPErrors(t *testing.T) {
 		t.Fatalf("round-0 ETag = %s, want %s", resp.Header.Get("ETag"), want)
 	}
 }
+
+// TestETagAcrossDeleteBetweenRounds pins cache correctness when a
+// dataset disappears while a client is polling with a stored ETag: the
+// deleted name 404s rather than 304ing, and a recreated dataset with
+// the very same content never validates the old tag, because the
+// creation generation is part of it.
+func TestETagAcrossDeleteBetweenRounds(t *testing.T) {
+	reg := NewRegistry(Config{})
+	defer reg.Close()
+	srv := httptest.NewServer(NewHandler(reg))
+	defer srv.Close()
+
+	ds, _ := dataset.Motivating()
+	recs := dataset.Records(ds)
+	populate := func() {
+		wantStatus(t, do(t, srv, http.MethodPut, "/v1/datasets/books", nil, nil, nil),
+			http.StatusCreated)
+		wantStatus(t, do(t, srv, http.MethodPost, "/v1/datasets/books/observations",
+			appendRequest{Observations: recs}, nil, nil), http.StatusAccepted)
+		wantStatus(t, do(t, srv, http.MethodPost, "/v1/datasets/books/quiesce", nil, nil, nil),
+			http.StatusOK)
+	}
+	populate()
+	var first copiesResponse
+	resp := do(t, srv, http.MethodGet, "/v1/datasets/books/copies", nil, &first, nil)
+	wantStatus(t, resp, http.StatusOK)
+	etag := resp.Header.Get("ETag")
+	wantStatus(t, do(t, srv, http.MethodGet, "/v1/datasets/books/copies", nil, nil,
+		map[string]string{"If-None-Match": etag}), http.StatusNotModified)
+
+	// The dataset is deleted between the client's polls.
+	wantStatus(t, do(t, srv, http.MethodDelete, "/v1/datasets/books", nil, nil, nil), http.StatusOK)
+	wantStatus(t, do(t, srv, http.MethodGet, "/v1/datasets/books/copies", nil, nil,
+		map[string]string{"If-None-Match": etag}), http.StatusNotFound)
+
+	// Same name, same content, same version and round numbers — but a
+	// different incarnation: the stale tag must NOT validate, and the
+	// fresh tag must differ even though the payload is identical.
+	populate()
+	var second copiesResponse
+	resp = do(t, srv, http.MethodGet, "/v1/datasets/books/copies", nil, &second,
+		map[string]string{"If-None-Match": etag})
+	wantStatus(t, resp, http.StatusOK)
+	if resp.Header.Get("ETag") == etag {
+		t.Fatal("recreated dataset reissued the deleted incarnation's ETag")
+	}
+	if second.Version != first.Version || second.Round != first.Round {
+		t.Fatalf("recreated dataset at version %d round %d, want %d/%d (otherwise the test is vacuous)",
+			second.Version, second.Round, first.Version, first.Round)
+	}
+}
+
+// TestDuplicateCreateKeepsVersionCounter is the regression test for the
+// duplicate-name fix: a second PUT for an existing dataset must 409 and
+// leave the original's append version, config and published state
+// untouched — not silently reset the dataset.
+func TestDuplicateCreateKeepsVersionCounter(t *testing.T) {
+	reg := NewRegistry(Config{})
+	defer reg.Close()
+	srv := httptest.NewServer(NewHandler(reg))
+	defer srv.Close()
+
+	wantStatus(t, do(t, srv, http.MethodPut, "/v1/datasets/books",
+		createRequest{Workers: 2, Alpha: 0.2}, nil, nil), http.StatusCreated)
+	ds, _ := dataset.Motivating()
+	for _, rec := range dataset.Records(ds)[:3] {
+		wantStatus(t, do(t, srv, http.MethodPost, "/v1/datasets/books/observations",
+			appendRequest{Observations: []dataset.Record{rec}}, nil, nil), http.StatusAccepted)
+	}
+
+	var before Info
+	wantStatus(t, do(t, srv, http.MethodGet, "/v1/datasets/books", nil, &before, nil), http.StatusOK)
+	if before.Version != 3 {
+		t.Fatalf("setup: version = %d, want 3", before.Version)
+	}
+
+	// Duplicate creates, with and without a (different) config body.
+	wantStatus(t, do(t, srv, http.MethodPut, "/v1/datasets/books", nil, nil, nil),
+		http.StatusConflict)
+	wantStatus(t, do(t, srv, http.MethodPut, "/v1/datasets/books",
+		createRequest{Workers: 7, Alpha: 0.3}, nil, nil), http.StatusConflict)
+
+	var after Info
+	wantStatus(t, do(t, srv, http.MethodGet, "/v1/datasets/books", nil, &after, nil), http.StatusOK)
+	if after != before {
+		t.Fatalf("duplicate create mutated the dataset:\n before %+v\n after  %+v", before, after)
+	}
+}

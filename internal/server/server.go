@@ -19,11 +19,22 @@
 // arrives while a round is in flight, the round's snapshot is stale: the
 // scheduler cancels it between iterative rounds (fusion.TruthFinder.Cancel)
 // and reschedules the dataset.
+//
+// With Config.DataDir set (registry Open), every dataset is durable:
+// appends are acknowledged only after their write-ahead-log record is
+// persisted, a background compactor snapshots each published round and
+// trims the log behind it, and a restarted registry replays
+// snapshot-plus-tail so that, once re-quiesced, it publishes the same
+// Result an uninterrupted process would have — the batch-equivalence
+// contract extended across process death. See store.go for the on-disk
+// layout and recovery sequence.
 package server
 
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
@@ -46,6 +57,21 @@ type Config struct {
 	// Concurrency caps how many datasets may run detection rounds at the
 	// same time (default 1). Rounds for a single dataset never overlap.
 	Concurrency int
+
+	// DataDir, when non-empty, makes every dataset durable under this
+	// directory: appends go through a write-ahead log before being
+	// acknowledged, published rounds are snapshotted, and Open recovers
+	// the full registry state after a crash or restart. Empty means a
+	// purely in-memory registry.
+	DataDir string
+	// Fsync makes every acknowledged append (and publish marker) fsync
+	// the WAL, so acknowledged data survives power loss rather than just
+	// process death. Only meaningful with DataDir.
+	Fsync bool
+	// SnapshotEvery is the compaction cadence: a dataset is snapshotted
+	// (and its WAL trimmed) after every SnapshotEvery published rounds
+	// (default 1). Only meaningful with DataDir.
+	SnapshotEvery int
 }
 
 // ErrNotFound reports an unknown (or deleted) dataset name.
@@ -86,12 +112,23 @@ type Managed struct {
 	cond    *sync.Cond
 	builder *dataset.Builder
 	version uint64 // bumped on every accepted append batch
+	rounds  int    // completed (published) rounds, survives restarts
 	dirty   bool   // appends not yet covered by a completed round
 	running bool   // a round is in flight
 	closed  bool
 	cancel  chan struct{} // closes to abort the in-flight round
 
 	pub *Published
+
+	// Durable state; all nil/zero for an in-memory registry.
+	// appendMu serializes whole Append calls so WAL order always equals
+	// version order, while keeping the disk write (fsync!) outside
+	// m.mu — reads never wait on storage. Lock order: appendMu → mu.
+	appendMu    sync.Mutex
+	st          *dstore
+	pending     []verLSN // appends not yet covered by a snapshot
+	sinceSnap   int      // published rounds since the last snapshot
+	snapVersion uint64   // append version the newest on-disk snapshot covers
 }
 
 // Info is a point-in-time summary of a managed dataset.
@@ -119,37 +156,130 @@ type Registry struct {
 	params      bayes.Params
 	opts        core.Options
 	concurrency int
+	dataDir     string
+	fsync       bool
+	snapEvery   int
 
 	mu     sync.Mutex
 	sets   map[string]*Managed
 	gen    uint64 // bumped per Create
 	closed bool
 
-	kick chan struct{}
-	stop chan struct{}
-	wg   sync.WaitGroup
+	kick     chan struct{}
+	stop     chan struct{}
+	compactC chan *Managed
+	wg       sync.WaitGroup
 }
 
-// NewRegistry starts a registry and its scheduler goroutine. Close it to
-// stop detection and release the goroutine.
+// NewRegistry starts a purely in-memory registry and its scheduler
+// goroutine; persistence fields of cfg are ignored. Use Open for a
+// durable registry. Close it to stop detection and release the
+// goroutine.
 func NewRegistry(cfg Config) *Registry {
+	cfg.DataDir = ""
+	r, err := Open(cfg)
+	if err != nil {
+		// Unreachable: with no data directory, Open touches no disk.
+		panic(err)
+	}
+	return r
+}
+
+// Open starts a registry. With cfg.DataDir set it first recovers every
+// dataset found under the directory — newest intact snapshot, then the
+// WAL tail with torn-tail truncation — and schedules a fresh detection
+// round for each dataset whose appends outrun its published result, so
+// the service resumes exactly where the previous process died.
+func Open(cfg Config) (*Registry, error) {
 	if (cfg.Params == bayes.Params{}) {
 		cfg.Params = bayes.DefaultParams()
 	}
 	if cfg.Concurrency <= 0 {
 		cfg.Concurrency = 1
 	}
+	if cfg.SnapshotEvery <= 0 {
+		cfg.SnapshotEvery = 1
+	}
 	r := &Registry{
 		params:      cfg.Params,
 		opts:        cfg.Options,
 		concurrency: cfg.Concurrency,
+		dataDir:     cfg.DataDir,
+		fsync:       cfg.Fsync,
+		snapEvery:   cfg.SnapshotEvery,
 		sets:        make(map[string]*Managed),
 		kick:        make(chan struct{}, 1),
 		stop:        make(chan struct{}),
+		compactC:    make(chan *Managed, 128),
+	}
+	if r.dataDir != "" {
+		if err := r.recover(); err != nil {
+			return nil, err
+		}
 	}
 	r.wg.Add(1)
 	go r.scheduler()
-	return r
+	if r.dataDir != "" {
+		r.wg.Add(1)
+		go r.compactor()
+		// Resume the dirty-dataset scheduler for recovered datasets whose
+		// appends outran their published round.
+		for _, m := range r.sets {
+			if m.dirty {
+				r.kickAsync()
+				break
+			}
+		}
+	}
+	return r, nil
+}
+
+// recover scans the data directory and rebuilds every dataset.
+func (r *Registry) recover() error {
+	root := datasetsRoot(r.dataDir)
+	if err := os.MkdirAll(root, 0o777); err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join(root, e.Name())
+		if _, err := os.Stat(filepath.Join(dir, "config.json")); err != nil {
+			// A crash between directory creation and the durable config
+			// write: the Create was never acknowledged, discard it.
+			discard(dir)
+			continue
+		}
+		m, err := recoverDataset(dir, r.fsync)
+		if err != nil {
+			return err
+		}
+		if name, err := decodeDirName(e.Name()); err != nil || name != m.name {
+			return fmt.Errorf("server: dataset directory %q holds config for %q", e.Name(), m.name)
+		}
+		m.reg = r
+		m.cond = sync.NewCond(&m.mu)
+		if m.params == (bayes.Params{}) {
+			m.params = r.params
+		}
+		if m.opts.Workers == 0 {
+			m.opts = r.opts
+		} else {
+			w := m.opts.Workers
+			m.opts = r.opts
+			m.opts.Workers = w
+		}
+		r.sets[m.name] = m
+		if m.gen > r.gen {
+			r.gen = m.gen
+		}
+	}
+	return nil
 }
 
 // Close stops the scheduler, cancels in-flight rounds and waits for them
@@ -171,6 +301,15 @@ func (r *Registry) Close() {
 	}
 	close(r.stop)
 	r.wg.Wait()
+	// No round or compactor goroutine remains. Snapshot every dataset
+	// the compactor had not caught up with, so a clean shutdown leaves
+	// each newest round snapshotted and its WAL trimmed.
+	for _, m := range sets {
+		if m.st != nil {
+			m.snapshot(true)
+			_ = m.st.log.Close()
+		}
+	}
 }
 
 // DatasetConfig overrides registry defaults for one dataset. Zero fields
@@ -215,6 +354,21 @@ func (r *Registry) Create(name string, cfg DatasetConfig) (*Managed, error) {
 	}
 	r.gen++
 	m.gen = r.gen
+	if r.dataDir != "" {
+		st, err := newDatasetStore(r.dataDir, datasetConfig{
+			Name:    name,
+			Gen:     m.gen,
+			Alpha:   params.Alpha,
+			S:       params.S,
+			N:       params.N,
+			Workers: opts.Workers,
+		}, r.fsync)
+		if err != nil {
+			r.gen--
+			return nil, err
+		}
+		m.st = st
+	}
 	r.sets[name] = m
 	return m, nil
 }
@@ -238,6 +392,12 @@ func (r *Registry) Delete(name string) bool {
 	r.mu.Unlock()
 	if ok {
 		m.shut()
+		if m.st != nil {
+			// The in-flight round and compactor see m.closed and stand
+			// down; any WAL call they race in returns a closed-log error.
+			_ = m.st.log.Close()
+			_ = m.st.remove()
+		}
 	}
 	return ok
 }
@@ -336,6 +496,62 @@ func (r *Registry) scheduler() {
 	}
 }
 
+// compactor is the registry's background snapshot-and-trim loop. It
+// runs the expensive work — encoding the published dataset and outcome,
+// fsyncing the snapshot, deleting covered WAL segments — off the append
+// and detection paths.
+func (r *Registry) compactor() {
+	defer r.wg.Done()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case m := <-r.compactC:
+			m.snapshot(false)
+		}
+	}
+}
+
+// snapshot persists the last published round and trims the WAL prefix
+// it covers. Best effort: on any error the WAL still holds everything,
+// so durability is never at risk — only recovery time. With final set
+// (registry shutdown) it also runs for datasets already marked closed;
+// a dataset deleted from disk just fails the write harmlessly.
+func (m *Managed) snapshot(final bool) {
+	m.mu.Lock()
+	pub, st, closed, have := m.pub, m.st, m.closed, m.snapVersion
+	m.mu.Unlock()
+	if pub == nil || st == nil || (closed && !final) {
+		return
+	}
+	if pub.Version == have && final {
+		return // clean shutdown with the snapshot already current
+	}
+	// Encoding and fsync happen outside the dataset lock: everything a
+	// Published points to is immutable.
+	if err := st.writeSnapshot(pub); err != nil {
+		return
+	}
+	m.mu.Lock()
+	if m.closed && !final {
+		m.mu.Unlock()
+		return
+	}
+	if pub.Version > m.snapVersion {
+		m.snapVersion = pub.Version
+	}
+	for len(m.pending) > 0 && m.pending[0].version <= pub.Version {
+		m.pending = m.pending[1:]
+	}
+	trim := st.log.NextLSN()
+	if len(m.pending) > 0 {
+		trim = m.pending[0].lsn
+	}
+	m.mu.Unlock()
+	_, _ = st.log.TrimBefore(trim)
+	st.pruneSnapshots(2)
+}
+
 // claimDirty picks a dirty, idle dataset (smallest name first, for
 // determinism) and marks it running.
 func (r *Registry) claimDirty() *Managed {
@@ -367,10 +583,36 @@ func (r *Registry) claimDirty() *Managed {
 // detection round. It returns the new append version and the total
 // number of observation cells.
 func (m *Managed) Append(obs, truth []dataset.Record) (version uint64, total int, err error) {
+	m.appendMu.Lock()
+	defer m.appendMu.Unlock()
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
 		return 0, 0, ErrNotFound
+	}
+	var lsn uint64
+	if st := m.st; st != nil {
+		// Write-ahead: the batch must be on the log (fsync'd when the
+		// registry is configured so) before any in-memory effect, and
+		// before the client sees an acknowledgement. The disk write
+		// happens outside m.mu — only appendMu is held — so readers
+		// never wait on fsync latency; appendMu keeps WAL order equal
+		// to version order.
+		next := m.version + 1
+		m.mu.Unlock()
+		lsn, err = st.log.Append(encodeAppendRecord(next, obs, truth))
+		if err != nil {
+			return 0, 0, fmt.Errorf("server: dataset %q: append not durable: %w", m.name, err)
+		}
+		m.mu.Lock()
+		if m.closed {
+			// Deleted or shut down while the record was being written;
+			// the batch was never acknowledged, and the log is gone or
+			// going with the dataset.
+			m.mu.Unlock()
+			return 0, 0, ErrNotFound
+		}
+		m.pending = append(m.pending, verLSN{version: next, lsn: lsn})
 	}
 	m.builder.AddRecords(obs)
 	for _, tr := range truth {
@@ -488,11 +730,14 @@ func (m *Managed) runRound() {
 	cancel := make(chan struct{})
 	m.cancel = cancel
 	snap := m.builder.Build()
-	round := 1
+	// The rounds counter, not the published pointer, picks the
+	// algorithm: a recovered dataset whose outcome was lost but whose
+	// publish marker survived must keep refining with INCREMENTAL, the
+	// same way the uninterrupted process would have.
+	round := m.rounds + 1
 	algo := "HYBRID"
 	var det core.Detector = &core.Hybrid{Params: m.params, Opts: m.opts}
-	if m.pub != nil {
-		round = m.pub.Round + 1
+	if m.rounds > 0 {
 		algo = "INCREMENTAL"
 		det = &core.Incremental{Params: m.params, Opts: m.opts}
 	}
@@ -510,6 +755,14 @@ func (m *Managed) runRound() {
 	}
 	m.running = false
 	if out != nil && !m.closed && m.version == version {
+		if m.st != nil {
+			// Log the publish marker before any Quiesce waiter can
+			// observe the round, so a post-quiesce crash never forgets
+			// that a round completed. Failure here only weakens
+			// durability of the round counter, never of appends.
+			_, _ = m.st.log.Append(encodePublishRecord(round, version))
+		}
+		m.rounds = round
 		m.pub = &Published{
 			Version:   version,
 			Round:     round,
@@ -517,6 +770,18 @@ func (m *Managed) runRound() {
 			Snapshot:  snap,
 			Outcome:   out,
 			Wall:      wall,
+		}
+		if m.st != nil {
+			m.sinceSnap++
+			if m.sinceSnap >= m.reg.snapEvery {
+				m.sinceSnap = 0
+				select {
+				case m.reg.compactC <- m:
+				default:
+					// Compactor backlog: retry at the next publish.
+					m.sinceSnap = m.reg.snapEvery
+				}
+			}
 		}
 	} else if !m.closed {
 		// Cancelled or stale: the appends that invalidated this round

@@ -1,0 +1,507 @@
+// Durable storage behind the registry: every managed dataset owns a
+// directory holding a config file, a write-ahead log of appends and
+// publish markers, and binary snapshots of (dataset, published outcome)
+// pairs. The invariants:
+//
+//   - An append is acknowledged to the client only after its WAL record
+//     is written (and, with Config.Fsync, fsync'd). The in-memory
+//     builder never holds state the log does not.
+//   - A publish marker is logged before a round's result becomes
+//     visible to Quiesce waiters, so a restarted server knows at least
+//     one round completed and keeps refining with INCREMENTAL instead
+//     of restarting with HYBRID.
+//   - The background compactor snapshots the last published round and
+//     then trims every WAL segment fully covered by it, bounding both
+//     recovery time and disk use.
+//
+// Recovery (registry Open) inverts this: load the newest intact
+// snapshot, rebuild the append Builder from its dataset
+// (dataset.NewBuilderFromDataset reproduces the id assignment), replay
+// the WAL tail on top — skipping records the snapshot already covers,
+// truncating a torn tail — and mark the dataset dirty when appends are
+// newer than the published round, so the scheduler re-converges it.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"copydetect/internal/bayes"
+	"copydetect/internal/binio"
+	"copydetect/internal/dataset"
+	"copydetect/internal/fusion"
+	"copydetect/internal/wal"
+)
+
+const (
+	walRecAppend  = 1 // one acknowledged append batch
+	walRecPublish = 2 // a detection round completed
+
+	snapMagic  = "CDSNAP\x01"
+	snapPrefix = "snap-"
+	snapSuffix = ".bin"
+
+	maxBatch = 1 << 26
+)
+
+var snapCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// dstore is the on-disk half of one Managed dataset.
+type dstore struct {
+	dir string
+	log *wal.Log
+}
+
+// verLSN remembers at which WAL position an append version starts, so
+// the compactor can trim exactly the prefix a snapshot covers.
+type verLSN struct {
+	version uint64
+	lsn     uint64
+}
+
+// datasetConfig is the JSON sidecar written once at Create: everything
+// a restarted server needs to reconstruct the Managed shell before any
+// observation arrives.
+type datasetConfig struct {
+	Name    string  `json:"name"`
+	Gen     uint64  `json:"gen"`
+	Alpha   float64 `json:"alpha"`
+	S       float64 `json:"s"`
+	N       float64 `json:"n"`
+	Workers int     `json:"workers"`
+}
+
+// ---------------------------------------------------------------------
+// Dataset directories
+
+// datasetsRoot returns the directory holding one subdirectory per
+// dataset.
+func datasetsRoot(dataDir string) string { return filepath.Join(dataDir, "datasets") }
+
+// encodeDirName maps a dataset name to a filesystem-safe directory
+// name: alphanumerics, '-', '_' and non-leading '.' pass through,
+// every other byte becomes %XX, and a CRC-32C of the exact name is
+// suffixed so that names differing only in letter case still map to
+// distinct directories on case-insensitive filesystems.
+func encodeDirName(name string) string {
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+			b.WriteByte(c)
+		case c == '.' && i > 0:
+			b.WriteByte(c)
+		default:
+			fmt.Fprintf(&b, "%%%02X", c)
+		}
+	}
+	fmt.Fprintf(&b, ".%08x", crc32.Checksum([]byte(name), snapCRC))
+	return b.String()
+}
+
+// decodeDirName inverts encodeDirName, verifying the checksum suffix.
+func decodeDirName(enc string) (string, error) {
+	dot := strings.LastIndexByte(enc, '.')
+	if dot < 0 || len(enc)-dot != 9 {
+		return "", fmt.Errorf("server: malformed dataset directory name %q", enc)
+	}
+	sum, err := strconv.ParseUint(enc[dot+1:], 16, 32)
+	if err != nil {
+		return "", fmt.Errorf("server: malformed dataset directory name %q: %w", enc, err)
+	}
+	var b strings.Builder
+	body := enc[:dot]
+	for i := 0; i < len(body); i++ {
+		if body[i] != '%' {
+			b.WriteByte(body[i])
+			continue
+		}
+		if i+2 >= len(body) {
+			return "", fmt.Errorf("server: malformed dataset directory name %q", enc)
+		}
+		v, err := strconv.ParseUint(body[i+1:i+3], 16, 8)
+		if err != nil {
+			return "", fmt.Errorf("server: malformed dataset directory name %q: %w", enc, err)
+		}
+		b.WriteByte(byte(v))
+		i += 2
+	}
+	name := b.String()
+	if crc32.Checksum([]byte(name), snapCRC) != uint32(sum) {
+		return "", fmt.Errorf("server: dataset directory name %q fails its checksum (renamed by hand?)", enc)
+	}
+	return name, nil
+}
+
+// writeFileDurable writes data to path via a temp file, fsync and
+// rename, then fsyncs the directory.
+func writeFileDurable(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return wal.SyncDir(dir)
+}
+
+// ---------------------------------------------------------------------
+// WAL record payloads
+
+// encodeAppendRecord frames one acknowledged append batch. The version
+// rides along so recovery can tell which records a snapshot already
+// covers even when rounds and appends interleave in the log.
+func encodeAppendRecord(version uint64, obs, truth []dataset.Record) []byte {
+	var buf bytes.Buffer
+	w := binio.NewWriter(&buf)
+	w.Byte(walRecAppend)
+	w.Uvarint(version)
+	w.Int(len(obs))
+	for _, o := range obs {
+		w.String(o.Source)
+		w.String(o.Item)
+		w.String(o.Value)
+	}
+	w.Int(len(truth))
+	for _, tr := range truth {
+		w.String(tr.Item)
+		w.String(tr.Value)
+	}
+	return buf.Bytes()
+}
+
+// encodePublishRecord frames a round-completed marker.
+func encodePublishRecord(round int, version uint64) []byte {
+	var buf bytes.Buffer
+	w := binio.NewWriter(&buf)
+	w.Byte(walRecPublish)
+	w.Int(round)
+	w.Uvarint(version)
+	return buf.Bytes()
+}
+
+type walRecord struct {
+	kind    byte
+	version uint64
+	round   int
+	obs     []dataset.Record
+	truth   []dataset.Record
+}
+
+func decodeWALRecord(payload []byte) (walRecord, error) {
+	r := binio.NewReader(bytes.NewReader(payload))
+	rec := walRecord{kind: r.Byte()}
+	switch rec.kind {
+	case walRecAppend:
+		rec.version = r.Uvarint()
+		if n := r.Int(maxBatch); n > 0 {
+			rec.obs = make([]dataset.Record, n)
+			for i := range rec.obs {
+				rec.obs[i] = dataset.Record{Source: r.String(), Item: r.String(), Value: r.String()}
+			}
+		}
+		if n := r.Int(maxBatch); n > 0 {
+			rec.truth = make([]dataset.Record, n)
+			for i := range rec.truth {
+				rec.truth[i] = dataset.Record{Item: r.String(), Value: r.String()}
+			}
+		}
+	case walRecPublish:
+		rec.round = r.Int(1 << 30)
+		rec.version = r.Uvarint()
+	default:
+		return rec, fmt.Errorf("server: unknown wal record type %d", rec.kind)
+	}
+	if err := r.Err(); err != nil {
+		return rec, fmt.Errorf("server: decode wal record: %w", err)
+	}
+	return rec, nil
+}
+
+// ---------------------------------------------------------------------
+// Snapshots
+
+func snapPath(dir string, version uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%016x%s", snapPrefix, version, snapSuffix))
+}
+
+// writeSnapshot persists pub as a checksummed binary snapshot file,
+// atomically (temp + rename).
+func (st *dstore) writeSnapshot(pub *Published) error {
+	var buf bytes.Buffer
+	w := binio.NewWriter(&buf)
+	w.String(snapMagic)
+	w.Uvarint(pub.Version)
+	w.Int(pub.Round)
+	w.String(pub.Algorithm)
+	dataset.EncodeDataset(w, pub.Snapshot)
+	fusion.EncodeOutcome(w, pub.Outcome)
+	w.Uvarint(uint64(pub.Wall))
+	if err := w.Err(); err != nil {
+		return fmt.Errorf("server: encode snapshot: %w", err)
+	}
+	var trailer [4]byte
+	sum := crc32.Checksum(buf.Bytes(), snapCRC)
+	trailer[0], trailer[1], trailer[2], trailer[3] = byte(sum), byte(sum>>8), byte(sum>>16), byte(sum>>24)
+	buf.Write(trailer[:])
+	return writeFileDurable(snapPath(st.dir, pub.Version), buf.Bytes())
+}
+
+// readSnapshot loads and verifies one snapshot file.
+func readSnapshot(path string) (*Published, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < 4 {
+		return nil, fmt.Errorf("server: snapshot %s: too short", filepath.Base(path))
+	}
+	body, trailer := raw[:len(raw)-4], raw[len(raw)-4:]
+	sum := uint32(trailer[0]) | uint32(trailer[1])<<8 | uint32(trailer[2])<<16 | uint32(trailer[3])<<24
+	if crc32.Checksum(body, snapCRC) != sum {
+		return nil, fmt.Errorf("server: snapshot %s: checksum mismatch", filepath.Base(path))
+	}
+	r := binio.NewReader(bytes.NewReader(body))
+	if m := r.String(); r.Err() == nil && m != snapMagic {
+		return nil, fmt.Errorf("server: snapshot %s: bad magic", filepath.Base(path))
+	}
+	pub := &Published{
+		Version:   r.Uvarint(),
+		Round:     r.Int(1 << 30),
+		Algorithm: r.String(),
+	}
+	pub.Snapshot, err = dataset.DecodeDataset(r)
+	if err != nil {
+		return nil, fmt.Errorf("server: snapshot %s: %w", filepath.Base(path), err)
+	}
+	pub.Outcome, err = fusion.DecodeOutcome(r)
+	if err != nil {
+		return nil, fmt.Errorf("server: snapshot %s: %w", filepath.Base(path), err)
+	}
+	pub.Wall = time.Duration(r.Uvarint())
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("server: snapshot %s: %w", filepath.Base(path), err)
+	}
+	return pub, nil
+}
+
+// snapshotVersions lists the snapshot file versions in dir, newest
+// first.
+func snapshotVersions(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var versions []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, snapPrefix) || !strings.HasSuffix(name, snapSuffix) {
+			continue
+		}
+		v, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, snapPrefix), snapSuffix), 16, 64)
+		if err != nil {
+			continue
+		}
+		versions = append(versions, v)
+	}
+	sort.Slice(versions, func(i, j int) bool { return versions[i] > versions[j] })
+	return versions, nil
+}
+
+// loadLatestSnapshot returns the newest snapshot that decodes cleanly,
+// or nil when none exists. Corrupt newer files are skipped (and left in
+// place for inspection); an older intact snapshot plus the unreplayed
+// WAL suffix still recovers the full state.
+func loadLatestSnapshot(dir string) *Published {
+	versions, err := snapshotVersions(dir)
+	if err != nil {
+		return nil
+	}
+	for _, v := range versions {
+		if pub, err := readSnapshot(snapPath(dir, v)); err == nil {
+			return pub
+		}
+	}
+	return nil
+}
+
+// pruneSnapshots removes all but the newest keep snapshot files and any
+// leftover temp files.
+func (st *dstore) pruneSnapshots(keep int) {
+	versions, err := snapshotVersions(st.dir)
+	if err != nil {
+		return
+	}
+	for i, v := range versions {
+		if i >= keep {
+			os.Remove(snapPath(st.dir, v))
+		}
+	}
+	if entries, err := os.ReadDir(st.dir); err == nil {
+		for _, e := range entries {
+			if strings.HasPrefix(e.Name(), ".tmp-") {
+				os.Remove(filepath.Join(st.dir, e.Name()))
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Create / recover plumbing (called from server.go with r.mu held)
+
+// newDatasetStore creates the on-disk layout for a fresh dataset and
+// opens its (empty) WAL.
+func newDatasetStore(dataDir string, cfg datasetConfig, fsync bool) (*dstore, error) {
+	dir := filepath.Join(datasetsRoot(dataDir), encodeDirName(cfg.Name))
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, fmt.Errorf("server: create dataset dir: %w", err)
+	}
+	// Once config.json is durably in place a restart would resurrect
+	// the dataset, so every error below must take the directory down
+	// with it — the client was told the Create failed.
+	fail := func(err error) (*dstore, error) {
+		discard(dir)
+		return nil, err
+	}
+	raw, err := json.MarshalIndent(cfg, "", "  ")
+	if err != nil {
+		return fail(err)
+	}
+	if err := writeFileDurable(filepath.Join(dir, "config.json"), raw); err != nil {
+		return fail(fmt.Errorf("server: write dataset config: %w", err))
+	}
+	log, err := wal.Open(filepath.Join(dir, "wal"), wal.Options{Fsync: fsync}, nil)
+	if err != nil {
+		return fail(err)
+	}
+	if err := wal.SyncDir(datasetsRoot(dataDir)); err != nil {
+		log.Close()
+		return fail(err)
+	}
+	return &dstore{dir: dir, log: log}, nil
+}
+
+// recoverDataset rebuilds one Managed from its directory: config,
+// newest snapshot, then the WAL tail. The returned Managed is fully
+// initialized except for its registry backref and condition variable.
+func recoverDataset(dir string, fsync bool) (*Managed, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, "config.json"))
+	if err != nil {
+		return nil, err
+	}
+	var cfg datasetConfig
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		return nil, fmt.Errorf("server: dataset config %s: %w", dir, err)
+	}
+	params := bayes.Params{Alpha: cfg.Alpha, S: cfg.S, N: cfg.N}
+	if err := params.Validate(); err != nil {
+		return nil, fmt.Errorf("server: dataset config %s: %w", dir, err)
+	}
+
+	m := &Managed{
+		name:   cfg.Name,
+		gen:    cfg.Gen,
+		params: params,
+	}
+	m.opts.Workers = cfg.Workers
+
+	pub := loadLatestSnapshot(dir)
+	var builder *dataset.Builder
+	if pub != nil {
+		builder = dataset.NewBuilderFromDataset(pub.Snapshot)
+		m.version = pub.Version
+		m.rounds = pub.Round
+		m.pub = pub
+		m.snapVersion = pub.Version
+	} else {
+		builder = dataset.NewBuilder()
+	}
+	m.builder = builder
+
+	snapVersion := m.version
+	log, err := wal.Open(filepath.Join(dir, "wal"), wal.Options{Fsync: fsync}, func(lsn uint64, payload []byte) error {
+		rec, err := decodeWALRecord(payload)
+		if err != nil {
+			return err
+		}
+		switch rec.kind {
+		case walRecAppend:
+			if rec.version <= snapVersion {
+				return nil // already covered by the snapshot
+			}
+			builder.AddRecords(rec.obs)
+			for _, tr := range rec.truth {
+				builder.SetTruth(tr.Item, tr.Value)
+			}
+			m.version = rec.version
+			m.pending = append(m.pending, verLSN{version: rec.version, lsn: lsn})
+		case walRecPublish:
+			if rec.round > m.rounds {
+				m.rounds = rec.round
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("server: dataset %q: %w", cfg.Name, err)
+	}
+	m.st = &dstore{dir: dir, log: log}
+	m.dirty = m.version > 0 && (m.pub == nil || m.pub.Version != m.version)
+	return m, nil
+}
+
+// remove deletes the dataset's directory tree. The WAL must already be
+// closed. The config file goes first, durably: recovery discards any
+// dataset directory without a config.json, so once that single remove
+// lands the dataset can never be resurrected, no matter where the rest
+// of the removal fails or crashes. A compactor racing the delete may
+// still land a snapshot rename mid-removal (ENOTEMPTY on the final
+// rmdir), so the tree removal retries briefly.
+func (st *dstore) remove() error {
+	if err := os.Remove(filepath.Join(st.dir, "config.json")); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	_ = wal.SyncDir(st.dir)
+	var err error
+	for attempt := 0; attempt < 5; attempt++ {
+		if err = os.RemoveAll(st.dir); err == nil {
+			return wal.SyncDir(filepath.Dir(st.dir))
+		}
+		time.Sleep(time.Duration(attempt+1) * 10 * time.Millisecond)
+	}
+	return err
+}
+
+// discard is a best-effort RemoveAll for malformed dataset directories
+// found during recovery (e.g. a crash between mkdir and config write).
+func discard(dir string) {
+	os.RemoveAll(dir)
+	if parent := filepath.Dir(dir); parent != "" {
+		if d, err := os.Open(parent); err == nil {
+			_ = d.Sync()
+			d.Close()
+		}
+	}
+}

@@ -1,0 +1,346 @@
+// Durability unit tests: clean restarts, recovery without a snapshot,
+// torn WAL tails, and delete semantics — all in-process. The
+// SIGKILL-based crash-equivalence acceptance test lives with the
+// daemon, in cmd/copydetectd.
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"copydetect/internal/bayes"
+	"copydetect/internal/core"
+	"copydetect/internal/dataset"
+	"copydetect/internal/fusion"
+)
+
+func openDurable(t *testing.T, dir string, workers int) *Registry {
+	t.Helper()
+	reg, err := Open(Config{
+		Options: core.Options{Workers: workers},
+		DataDir: dir,
+		Fsync:   false, // process-death durability; keeps tests fast
+	})
+	if err != nil {
+		t.Fatalf("open durable registry: %v", err)
+	}
+	return reg
+}
+
+// waitForSnapshot polls until the dataset directory holds at least one
+// snapshot file.
+func waitForSnapshot(t *testing.T, dir, name string) {
+	t.Helper()
+	dsDir := filepath.Join(datasetsRoot(dir), encodeDirName(name))
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if vs, err := snapshotVersions(dsDir); err == nil && len(vs) > 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("no snapshot appeared for dataset %q", name)
+}
+
+func TestDurableCleanRestartServesSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	ds := streamWorkload(t)
+	recs := dataset.Records(ds)
+	batches := splitBatches(recs, 3)
+
+	reg := openDurable(t, dir, 2)
+	m, err := reg.Create("books", DatasetConfig{})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	for _, b := range batches {
+		if _, _, err := m.Append(b, nil); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	want := quiesce(t, reg, "books")
+	if want == nil {
+		t.Fatal("no published round")
+	}
+	reg.Close() // flushes the snapshot
+
+	reg2 := openDurable(t, dir, 2)
+	defer reg2.Close()
+	m2, ok := reg2.Get("books")
+	if !ok {
+		t.Fatal("dataset lost across restart")
+	}
+	// The snapshot is current, so the restarted dataset is converged
+	// without running a single round, and the published state — result,
+	// truth, probabilities, even the stats and wall times — is
+	// bit-for-bit the pre-restart one.
+	if !m2.Converged() {
+		t.Fatal("restarted dataset not converged despite current snapshot")
+	}
+	got := m2.Published()
+	if got == nil {
+		t.Fatal("restarted dataset published nothing")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("published state differs after clean restart")
+	}
+	if inf := m2.Info(); inf.Version != want.Version || inf.Observations != ds.NumObservations() {
+		t.Fatalf("restarted info = %+v", inf)
+	}
+}
+
+func TestDurableRecoveryReplaysWALWithoutSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	ds := streamWorkload(t)
+	recs := dataset.Records(ds)
+	truth := dataset.TruthRecords(ds)
+	batches := splitBatches(recs, 4)
+
+	reg, err := Open(Config{
+		Options: core.Options{Workers: 1},
+		DataDir: dir,
+		// A cadence the test never reaches: recovery must work from the
+		// log alone.
+		SnapshotEvery: 1 << 30,
+	})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	m, err := reg.Create("books", DatasetConfig{})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if _, _, err := m.Append(batches[0], nil); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	first := quiesce(t, reg, "books")
+	if first == nil || first.Algorithm != "HYBRID" {
+		t.Fatalf("first round = %+v", first)
+	}
+	for _, b := range batches[1:] {
+		if _, _, err := m.Append(b, nil); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	if _, _, err := m.Append(nil, truth); err != nil {
+		t.Fatalf("append truth: %v", err)
+	}
+	// Abandon the registry without Close: a crash. The WAL already has
+	// every acknowledged append and the round-1 publish marker.
+	reg = nil
+
+	reg2 := openDurable(t, dir, 1)
+	defer reg2.Close()
+	pub := quiesce(t, reg2, "books")
+	if pub == nil {
+		t.Fatal("recovered dataset published nothing")
+	}
+	if pub.Algorithm != "INCREMENTAL" {
+		t.Fatalf("recovered round ran %s; the surviving publish marker should force INCREMENTAL", pub.Algorithm)
+	}
+
+	// Reference: one batch run over the final dataset.
+	b := dataset.NewBuilder()
+	for _, batch := range batches {
+		b.AddRecords(batch)
+	}
+	for _, tr := range truth {
+		b.SetTruth(tr.Item, tr.Value)
+	}
+	final := b.Build()
+	if !reflect.DeepEqual(pub.Snapshot, final) {
+		t.Fatal("recovered snapshot differs from batch-built dataset")
+	}
+	params := bayes.DefaultParams()
+	want := (&fusion.TruthFinder{Params: params}).Run(final, &core.Incremental{Params: params, Opts: core.Options{Workers: 1}})
+	if g, w := normalizedResult(pub.Outcome.Copy), normalizedResult(want.Copy); !reflect.DeepEqual(g, w) {
+		t.Fatal("recovered Result differs from batch Result")
+	}
+	if !reflect.DeepEqual(pub.Outcome.Truth, want.Truth) {
+		t.Fatal("recovered truth decisions differ from batch run")
+	}
+}
+
+func TestDurableRecoveryTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	reg := openDurable(t, dir, 1)
+	m, err := reg.Create("set", DatasetConfig{})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if _, _, err := m.Append([]dataset.Record{
+		{Source: "s1", Item: "d1", Value: "a"},
+		{Source: "s2", Item: "d1", Value: "a"},
+	}, nil); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	quiesce(t, reg, "set")
+	reg.Close()
+
+	// Simulate a crash mid-write: garbage on the end of the newest WAL
+	// segment, as if the process died inside an unacknowledged append.
+	walDir := filepath.Join(datasetsRoot(dir), encodeDirName("set"), "wal")
+	entries, err := os.ReadDir(walDir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("wal dir: %v (%d entries)", err, len(entries))
+	}
+	seg := filepath.Join(walDir, entries[len(entries)-1].Name())
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0o666)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x09, 0x00, 0x00, 0x00, 0xAA}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	reg2 := openDurable(t, dir, 1)
+	defer reg2.Close()
+	m2, ok := reg2.Get("set")
+	if !ok {
+		t.Fatal("dataset lost")
+	}
+	if inf := m2.Info(); inf.Observations != 2 {
+		t.Fatalf("recovered %d observations, want 2", inf.Observations)
+	}
+	// The log stays appendable after truncation.
+	if _, _, err := m2.Append([]dataset.Record{{Source: "s3", Item: "d1", Value: "b"}}, nil); err != nil {
+		t.Fatalf("append after torn-tail recovery: %v", err)
+	}
+	if pub := quiesce(t, reg2, "set"); pub == nil || pub.Snapshot.NumObservations() != 3 {
+		t.Fatalf("post-recovery round = %+v", pub)
+	}
+}
+
+func TestDurableDeleteAndRecreate(t *testing.T) {
+	dir := t.TempDir()
+	reg := openDurable(t, dir, 1)
+	if _, err := reg.Create("x", DatasetConfig{Workers: 3}); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	dsDir := filepath.Join(datasetsRoot(dir), encodeDirName("x"))
+	if _, err := os.Stat(filepath.Join(dsDir, "config.json")); err != nil {
+		t.Fatalf("config not on disk: %v", err)
+	}
+	m, _ := reg.Get("x")
+	gen1 := m.gen
+	if !reg.Delete("x") {
+		t.Fatal("delete failed")
+	}
+	if _, err := os.Stat(dsDir); !os.IsNotExist(err) {
+		t.Fatalf("dataset dir survives delete: %v", err)
+	}
+	m2, err := reg.Create("x", DatasetConfig{})
+	if err != nil {
+		t.Fatalf("recreate: %v", err)
+	}
+	if m2.gen <= gen1 {
+		t.Fatalf("recreated gen %d not above %d; stale ETags would validate", m2.gen, gen1)
+	}
+	reg.Close()
+
+	// Generations survive restarts, keeping ETags from before the
+	// restart distinguishable too.
+	reg2 := openDurable(t, dir, 1)
+	defer reg2.Close()
+	m3, ok := reg2.Get("x")
+	if !ok || m3.gen != m2.gen {
+		t.Fatalf("recovered gen = %d, want %d", m3.gen, m2.gen)
+	}
+	if m3.Info().Workers != m2.Info().Workers {
+		t.Fatal("recovered workers differ")
+	}
+}
+
+func TestDurableConfigOverridesSurviveRestart(t *testing.T) {
+	dir := t.TempDir()
+	reg := openDurable(t, dir, 2)
+	p := bayes.Params{Alpha: 0.25, S: 0.6, N: 42}
+	if _, err := reg.Create("tuned", DatasetConfig{Params: p, Workers: 5}); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	reg.Close()
+	reg2 := openDurable(t, dir, 2)
+	defer reg2.Close()
+	m, ok := reg2.Get("tuned")
+	if !ok {
+		t.Fatal("dataset lost")
+	}
+	inf := m.Info()
+	if inf.Alpha != 0.25 || inf.S != 0.6 || inf.N != 42 || inf.Workers != 5 {
+		t.Fatalf("recovered config = %+v", inf)
+	}
+}
+
+func TestDurableSnapshotPruning(t *testing.T) {
+	dir := t.TempDir()
+	reg := openDurable(t, dir, 1)
+	m, err := reg.Create("s", DatasetConfig{})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, _, err := m.Append([]dataset.Record{
+			{Source: "s1", Item: "d1", Value: string(rune('a' + i))},
+			{Source: "s2", Item: "d1", Value: "a"},
+		}, nil); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		quiesce(t, reg, "s")
+	}
+	waitForSnapshot(t, dir, "s")
+	reg.Close()
+	vs, err := snapshotVersions(filepath.Join(datasetsRoot(dir), encodeDirName("s")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) == 0 || len(vs) > 2 {
+		t.Fatalf("kept %d snapshots, want 1-2", len(vs))
+	}
+}
+
+func TestDirNameRoundtrip(t *testing.T) {
+	for _, name := range []string{
+		"plain", "with-dash_and.dot", "slash/es", "..", ".hidden",
+		"spaces and ünïcode", "%already%escaped", "a%2Fb",
+	} {
+		enc := encodeDirName(name)
+		if filepath.Base(enc) != enc || enc == "." || enc == ".." {
+			t.Errorf("encodeDirName(%q) = %q is not a safe single path element", name, enc)
+		}
+		got, err := decodeDirName(enc)
+		if err != nil || got != name {
+			t.Errorf("decodeDirName(encodeDirName(%q)) = %q, %v", name, got, err)
+		}
+	}
+}
+
+func TestWALRecordRoundtrip(t *testing.T) {
+	obs := []dataset.Record{{Source: "s", Item: "d", Value: "v"}, {Source: "s2", Item: "d2", Value: "v2"}}
+	truth := []dataset.Record{{Item: "d", Value: "v"}}
+	rec, err := decodeWALRecord(encodeAppendRecord(7, obs, truth))
+	if err != nil {
+		t.Fatalf("decode append: %v", err)
+	}
+	if rec.kind != walRecAppend || rec.version != 7 ||
+		!reflect.DeepEqual(rec.obs, obs) || !reflect.DeepEqual(rec.truth, truth) {
+		t.Fatalf("append record = %+v", rec)
+	}
+	rec, err = decodeWALRecord(encodePublishRecord(3, 9))
+	if err != nil {
+		t.Fatalf("decode publish: %v", err)
+	}
+	if rec.kind != walRecPublish || rec.round != 3 || rec.version != 9 {
+		t.Fatalf("publish record = %+v", rec)
+	}
+	if _, err := decodeWALRecord([]byte{99}); err == nil {
+		t.Error("unknown record type accepted")
+	}
+	enc := encodeAppendRecord(1, obs, nil)
+	if _, err := decodeWALRecord(enc[:len(enc)-3]); err == nil {
+		t.Error("truncated record accepted")
+	}
+}

@@ -1,0 +1,445 @@
+// Package wal implements the write-ahead log underneath the durable
+// serving layer: a checksummed, append-only record log split into
+// fixed-size segment files, with torn-tail truncation on open and
+// segment trimming once a snapshot covers a prefix of the log.
+//
+// Each record is framed as a 4-byte little-endian payload length, a
+// 4-byte CRC-32C of the payload, and the payload itself. Records are
+// numbered by a log sequence number (LSN) starting at 1; a segment file
+// is named by the LSN of its first record (16 hex digits + ".wal") and
+// starts with a 5-byte header (magic "CDWL" plus a format version), so
+// the set of files alone describes the log's layout.
+//
+// Crash behaviour: a process may die mid-write, leaving a partial frame
+// or a frame whose checksum does not match at the end of the newest
+// segment. Open detects this torn tail, truncates the segment back to
+// its last intact record, and resumes appending from there. A torn or
+// checksum-mismatching record anywhere else — in the middle of a
+// segment, or in any segment that has a successor — cannot be produced
+// by a crash and makes Open fail instead of silently dropping records.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+const (
+	magic         = "CDWL"
+	formatVersion = 1
+	headerSize    = len(magic) + 1
+	frameSize     = 8 // u32 payload length + u32 CRC-32C
+
+	// DefaultSegmentBytes is the rotation threshold used when
+	// Options.SegmentBytes is zero.
+	DefaultSegmentBytes = 4 << 20
+
+	// maxRecordBytes bounds a single payload; a length prefix beyond it
+	// is treated as corruption rather than attempted as an allocation.
+	maxRecordBytes = 1 << 28
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Options tunes a Log.
+type Options struct {
+	// SegmentBytes is the size at which the active segment is closed and
+	// a new one started (default DefaultSegmentBytes). Rotation happens
+	// between records; a single record larger than the threshold still
+	// lands in one segment.
+	SegmentBytes int64
+	// Fsync makes every Append fsync the segment file before returning,
+	// so an acknowledged record survives power loss, not just process
+	// death. Without it the operating system flushes on its own schedule.
+	Fsync bool
+}
+
+// segment is one on-disk segment file; first is the LSN of its first
+// record and next the LSN one past its last.
+type segment struct {
+	first uint64
+	next  uint64
+	path  string
+}
+
+// Log is an append-only record log over a directory of segment files.
+// All methods are safe for concurrent use.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	active   *os.File
+	size     int64 // size of the active segment
+	segments []segment
+	next     uint64 // LSN of the next record to be appended
+	closed   bool
+	failed   bool // a partial write could not be rolled back; log is poisoned
+}
+
+// Open opens (creating if necessary) the log in dir, replays every
+// intact record in LSN order through replay, truncates a torn tail off
+// the newest segment, and returns the log ready for appending. A nil
+// replay skips delivery but still validates and truncates. If replay
+// returns an error, Open stops and returns it.
+func Open(dir string, opts Options, replay func(lsn uint64, payload []byte) error) (*Log, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	names, err := segmentNames(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir, opts: opts, next: 1}
+	for i, name := range names {
+		path := filepath.Join(dir, name)
+		first, err := lsnOfName(name)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			// Older segments may have been trimmed away; the log starts
+			// wherever its oldest surviving segment does.
+			l.next = first
+		} else if first != l.next {
+			return nil, fmt.Errorf("wal: segment %s starts at lsn %d, want %d", name, first, l.next)
+		}
+		last := i == len(names)-1
+		if err := l.scanSegment(path, last, replay); err != nil {
+			return nil, err
+		}
+		l.segments = append(l.segments, segment{first: first, next: l.next, path: path})
+	}
+	if len(l.segments) == 0 {
+		if err := l.startSegment(); err != nil {
+			return nil, err
+		}
+	} else {
+		tail := l.segments[len(l.segments)-1]
+		f, err := os.OpenFile(tail.path, os.O_RDWR, 0o666)
+		if err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		size, err := f.Seek(0, io.SeekEnd)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		l.active, l.size = f, size
+	}
+	return l, nil
+}
+
+// scanSegment validates the records of one segment, delivering each to
+// replay and advancing l.next. When last is set, the first invalid or
+// incomplete record marks a torn tail: the file is truncated back to the
+// end of the preceding record. Anywhere else the same condition is an
+// unrecoverable corruption error.
+func (l *Log) scanSegment(path string, last bool, replay func(lsn uint64, payload []byte) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+
+	truncate := func(off int64, why string) error {
+		if !last {
+			return fmt.Errorf("wal: segment %s: %s at offset %d (not the newest segment; refusing to truncate)", filepath.Base(path), why, off)
+		}
+		if err := os.Truncate(path, off); err != nil {
+			return fmt.Errorf("wal: truncating torn tail of %s: %w", filepath.Base(path), err)
+		}
+		return nil
+	}
+
+	header := make([]byte, headerSize)
+	if _, err := io.ReadFull(f, header); err != nil {
+		// A header too short to read can only be a crash during segment
+		// creation; reset the file to an empty, well-formed segment.
+		if err := truncate(0, "short header"); err != nil {
+			return err
+		}
+		return l.writeHeader(path)
+	}
+	if string(header[:len(magic)]) != magic || header[len(magic)] != formatVersion {
+		return fmt.Errorf("wal: segment %s: bad header", filepath.Base(path))
+	}
+
+	off := int64(headerSize)
+	frame := make([]byte, frameSize)
+	var payload []byte
+	for {
+		n, err := io.ReadFull(f, frame)
+		if err == io.EOF {
+			return nil // clean end of segment
+		}
+		if err == io.ErrUnexpectedEOF {
+			return truncate(off, fmt.Sprintf("partial frame header (%d bytes)", n))
+		}
+		if err != nil {
+			return fmt.Errorf("wal: reading %s: %w", filepath.Base(path), err)
+		}
+		length := binary.LittleEndian.Uint32(frame[0:4])
+		sum := binary.LittleEndian.Uint32(frame[4:8])
+		if length > maxRecordBytes {
+			return truncate(off, fmt.Sprintf("implausible record length %d", length))
+		}
+		if cap(payload) < int(length) {
+			payload = make([]byte, length)
+		}
+		payload = payload[:length]
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return truncate(off, "partial record payload")
+		}
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return truncate(off, "checksum mismatch")
+		}
+		if replay != nil {
+			if err := replay(l.next, payload); err != nil {
+				return err
+			}
+		}
+		l.next++
+		off += frameSize + int64(length)
+	}
+}
+
+// writeHeader rewrites path as an empty segment and opens it as the
+// active one.
+func (l *Log) writeHeader(path string) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o666)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	if _, err := f.Write(segmentHeader()); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return f.Sync()
+}
+
+func segmentHeader() []byte {
+	h := make([]byte, headerSize)
+	copy(h, magic)
+	h[len(magic)] = formatVersion
+	return h
+}
+
+// startSegment creates and activates a fresh segment whose first record
+// will be l.next. Called with l.mu held (or before the log is shared).
+func (l *Log) startSegment() error {
+	if l.active != nil {
+		if err := l.active.Sync(); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		if err := l.active.Close(); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		l.active = nil
+	}
+	path := filepath.Join(l.dir, segmentName(l.next))
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o666)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if _, err := f.Write(segmentHeader()); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := SyncDir(l.dir); err != nil {
+		f.Close()
+		return err
+	}
+	l.active = f
+	l.size = int64(headerSize)
+	l.segments = append(l.segments, segment{first: l.next, next: l.next, path: path})
+	return nil
+}
+
+// Append writes one record and returns its LSN. With Options.Fsync set
+// the record is on stable storage when Append returns.
+func (l *Log) Append(payload []byte) (uint64, error) {
+	if len(payload) > maxRecordBytes {
+		return 0, fmt.Errorf("wal: record of %d bytes exceeds the %d-byte limit", len(payload), maxRecordBytes)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, fmt.Errorf("wal: log is closed")
+	}
+	if l.failed {
+		return 0, fmt.Errorf("wal: log is poisoned by an earlier unrecoverable write failure")
+	}
+	if l.size >= l.opts.SegmentBytes && l.size > int64(headerSize) {
+		if err := l.startSegment(); err != nil {
+			return 0, err
+		}
+	}
+	buf := make([]byte, frameSize+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, castagnoli))
+	copy(buf[frameSize:], payload)
+	if _, err := l.active.Write(buf); err != nil {
+		// A partial frame on disk would masquerade as a torn tail and
+		// silently swallow every later (acknowledged!) record at the
+		// next recovery. Roll the segment back to its last intact
+		// record; if that is impossible, refuse all further appends.
+		l.rollback()
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	if l.opts.Fsync {
+		if err := l.active.Sync(); err != nil {
+			// The record is written but not provably durable, and the
+			// LSN/size bookkeeping below will not run: roll it back so
+			// the in-memory state and the file stay consistent.
+			l.rollback()
+			return 0, fmt.Errorf("wal: %w", err)
+		}
+	}
+	l.size += int64(len(buf))
+	lsn := l.next
+	l.next++
+	l.segments[len(l.segments)-1].next = l.next
+	return lsn, nil
+}
+
+// rollback restores the active segment to the last acknowledged record
+// boundary (l.size) after a failed write, poisoning the log when the
+// file cannot be brought back to a consistent state. Called with l.mu
+// held.
+func (l *Log) rollback() {
+	if err := l.active.Truncate(l.size); err != nil {
+		l.failed = true
+		return
+	}
+	if _, err := l.active.Seek(l.size, io.SeekStart); err != nil {
+		l.failed = true
+	}
+}
+
+// NextLSN returns the LSN the next Append will get.
+func (l *Log) NextLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next
+}
+
+// Sync flushes the active segment to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: log is closed")
+	}
+	return l.active.Sync()
+}
+
+// TrimBefore deletes every closed segment all of whose records have
+// LSN < lsn. The active segment is never deleted, so the log always
+// remains appendable. It returns the number of segments removed.
+func (l *Log) TrimBefore(lsn uint64) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, fmt.Errorf("wal: log is closed")
+	}
+	removed := 0
+	for len(l.segments) > 1 && l.segments[0].next <= lsn {
+		if err := os.Remove(l.segments[0].path); err != nil {
+			return removed, fmt.Errorf("wal: %w", err)
+		}
+		l.segments = l.segments[1:]
+		removed++
+	}
+	if removed > 0 {
+		if err := SyncDir(l.dir); err != nil {
+			return removed, err
+		}
+	}
+	return removed, nil
+}
+
+// Close flushes and closes the active segment. The log must not be used
+// afterwards.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if err := l.active.Sync(); err != nil {
+		l.active.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := l.active.Close(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}
+
+func segmentName(first uint64) string {
+	return fmt.Sprintf("%016x.wal", first)
+}
+
+func lsnOfName(name string) (uint64, error) {
+	base := strings.TrimSuffix(name, ".wal")
+	lsn, err := strconv.ParseUint(base, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("wal: segment file %q: %w", name, err)
+	}
+	return lsn, nil
+}
+
+// segmentNames lists the *.wal files of dir sorted by first LSN.
+func segmentNames(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".wal") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Slice(names, func(i, j int) bool {
+		a, errA := lsnOfName(names[i])
+		b, errB := lsnOfName(names[j])
+		if errA != nil || errB != nil {
+			return names[i] < names[j]
+		}
+		return a < b
+	})
+	return names, nil
+}
+
+// SyncDir fsyncs a directory so entry creations, renames and removals
+// are durable. Exported for the storage layers built on this package,
+// so platform quirks in directory syncing have a single home.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: sync %s: %w", dir, err)
+	}
+	return nil
+}

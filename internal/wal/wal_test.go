@@ -1,0 +1,297 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// collect reopens the log at dir and gathers every replayed record.
+func collect(t *testing.T, dir string, opts Options) (*Log, []string) {
+	t.Helper()
+	var got []string
+	l, err := Open(dir, opts, func(lsn uint64, payload []byte) error {
+		if want := uint64(len(got) + 1); lsn != want {
+			t.Fatalf("replayed lsn %d, want %d", lsn, want)
+		}
+		got = append(got, string(payload))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	return l, got
+}
+
+func TestAppendReplayRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	l, got := collect(t, dir, Options{})
+	if len(got) != 0 {
+		t.Fatalf("fresh log replayed %v", got)
+	}
+	var want []string
+	for i := 0; i < 25; i++ {
+		rec := fmt.Sprintf("record-%02d", i)
+		lsn, err := l.Append([]byte(rec))
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if lsn != uint64(i+1) {
+			t.Fatalf("append %d returned lsn %d", i, lsn)
+		}
+		want = append(want, rec)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	l, got = collect(t, dir, Options{})
+	defer l.Close()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("replay mismatch:\n got  %v\n want %v", got, want)
+	}
+	if l.NextLSN() != uint64(len(want)+1) {
+		t.Fatalf("NextLSN = %d, want %d", l.NextLSN(), len(want)+1)
+	}
+	// The reopened log stays appendable with consecutive LSNs.
+	if lsn, err := l.Append([]byte("after-reopen")); err != nil || lsn != uint64(len(want)+1) {
+		t.Fatalf("append after reopen: lsn %d, err %v", lsn, err)
+	}
+}
+
+func TestSegmentRotationAndTrim(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments: every record is larger than the threshold, so each
+	// append past the first in a segment rotates.
+	l, _ := collect(t, dir, Options{SegmentBytes: 16})
+	var want []string
+	for i := 0; i < 10; i++ {
+		rec := fmt.Sprintf("a-fairly-long-record-%02d", i)
+		if _, err := l.Append([]byte(rec)); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+		want = append(want, rec)
+	}
+	segs, err := segmentNames(dir)
+	if err != nil || len(segs) < 3 {
+		t.Fatalf("segments = %v (err %v), want several", segs, err)
+	}
+
+	// Trimming before LSN 6 must drop the segments fully below it and
+	// keep records 6.. replayable.
+	if _, err := l.TrimBefore(6); err != nil {
+		t.Fatalf("trim: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	var got []string
+	var first uint64
+	l2, err := Open(dir, Options{SegmentBytes: 16}, func(lsn uint64, payload []byte) error {
+		if first == 0 {
+			first = lsn
+		}
+		got = append(got, string(payload))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("reopen after trim: %v", err)
+	}
+	defer l2.Close()
+	if first == 0 || first > 6 {
+		t.Fatalf("first replayed lsn after trim = %d, want <= 6", first)
+	}
+	if !reflect.DeepEqual(got, want[first-1:]) {
+		t.Fatalf("post-trim replay mismatch: got %v", got)
+	}
+	// The active segment never goes away, even when fully covered.
+	if n, err := l2.TrimBefore(1 << 30); err != nil || l2.NextLSN() != 11 {
+		t.Fatalf("aggressive trim: removed %d, err %v, next %d", n, err, l2.NextLSN())
+	}
+}
+
+// tailFile returns the path of the newest segment.
+func tailFile(t *testing.T, dir string) string {
+	t.Helper()
+	names, err := segmentNames(dir)
+	if err != nil || len(names) == 0 {
+		t.Fatalf("segmentNames: %v (%v)", names, err)
+	}
+	return filepath.Join(dir, names[len(names)-1])
+}
+
+func TestTornTailTruncation(t *testing.T) {
+	corruptions := map[string]func(t *testing.T, path string){
+		"partial frame": func(t *testing.T, path string) {
+			appendBytes(t, path, []byte{0x03, 0x00}) // 2 of 8 frame bytes
+		},
+		"partial payload": func(t *testing.T, path string) {
+			appendBytes(t, path, []byte{0x10, 0, 0, 0, 0xde, 0xad, 0xbe, 0xef, 'x'})
+		},
+		"checksum mismatch": func(t *testing.T, path string) {
+			appendBytes(t, path, []byte{0x02, 0, 0, 0, 0, 0, 0, 0, 'h', 'i'})
+		},
+		"implausible length": func(t *testing.T, path string) {
+			appendBytes(t, path, []byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})
+		},
+		"flipped payload bit": func(t *testing.T, path string) {
+			f, err := os.OpenFile(path, os.O_RDWR, 0o666)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			st, err := f.Stat()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.WriteAt([]byte{'X'}, st.Size()-1); err != nil {
+				t.Fatal(err)
+			}
+		},
+	}
+	for name, corrupt := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			l, _ := collect(t, dir, Options{})
+			want := []string{"one", "two", "three"}
+			for _, rec := range want {
+				if _, err := l.Append([]byte(rec)); err != nil {
+					t.Fatalf("append: %v", err)
+				}
+			}
+			if err := l.Close(); err != nil {
+				t.Fatalf("close: %v", err)
+			}
+			corrupt(t, tailFile(t, dir))
+
+			l, got := collect(t, dir, Options{})
+			wantAfter := want
+			if name == "flipped payload bit" {
+				wantAfter = want[:2] // the flipped record itself is dropped
+			}
+			if !reflect.DeepEqual(got, wantAfter) {
+				t.Fatalf("replay after %s = %v, want %v", name, got, wantAfter)
+			}
+			// The torn tail is gone for good: appends resume at the next
+			// LSN and a further reopen sees a consistent log.
+			if _, err := l.Append([]byte("resumed")); err != nil {
+				t.Fatalf("append after truncation: %v", err)
+			}
+			if err := l.Close(); err != nil {
+				t.Fatalf("close: %v", err)
+			}
+			l, got = collect(t, dir, Options{})
+			defer l.Close()
+			if !reflect.DeepEqual(got, append(append([]string(nil), wantAfter...), "resumed")) {
+				t.Fatalf("second replay after %s = %v", name, got)
+			}
+		})
+	}
+}
+
+func TestTornHeaderOfFreshSegment(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := collect(t, dir, Options{})
+	if _, err := l.Append([]byte("kept")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash between creating the next segment file and writing
+	// its header: a second, empty segment file.
+	if err := os.WriteFile(filepath.Join(dir, segmentName(2)), []byte("CD"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	l, got := collect(t, dir, Options{})
+	defer l.Close()
+	if !reflect.DeepEqual(got, []string{"kept"}) {
+		t.Fatalf("replay = %v", got)
+	}
+	if lsn, err := l.Append([]byte("next")); err != nil || lsn != 2 {
+		t.Fatalf("append into repaired segment: lsn %d, err %v", lsn, err)
+	}
+}
+
+func TestCorruptionInOldSegmentFailsOpen(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := collect(t, dir, Options{SegmentBytes: 16})
+	for i := 0; i < 6; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("long-enough-record-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names, err := segmentNames(dir)
+	if err != nil || len(names) < 2 {
+		t.Fatalf("want multiple segments, got %v (%v)", names, err)
+	}
+	// Flip a byte in the FIRST segment: that is corruption, not a torn
+	// tail, and recovery must refuse rather than silently drop records.
+	first := filepath.Join(dir, names[0])
+	f, err := os.OpenFile(first, os.O_RDWR, 0o666)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xFF}, int64(headerSize)+frameSize); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := Open(dir, Options{SegmentBytes: 16}, nil); err == nil {
+		t.Fatal("Open accepted a corrupt middle segment")
+	}
+}
+
+func TestFsyncOptionStillAppends(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := collect(t, dir, Options{Fsync: true})
+	defer l.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append([]byte("durable")); err != nil {
+			t.Fatalf("fsync append: %v", err)
+		}
+	}
+}
+
+func appendBytes(t *testing.T, path string, b []byte) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o666)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write(b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAppendFailureDoesNotPoisonTail: a failed append must never leave
+// a partial frame that a later recovery would mistake for a torn tail
+// (silently dropping acknowledged records behind it). When rollback is
+// impossible the log refuses further appends instead.
+func TestAppendFailureDoesNotPoisonTail(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := collect(t, dir, Options{})
+	if _, err := l.Append([]byte("acknowledged")); err != nil {
+		t.Fatal(err)
+	}
+	// Yank the segment out from under the log: the write fails, and so
+	// does the rollback truncate.
+	l.active.Close()
+	if _, err := l.Append([]byte("fails")); err == nil {
+		t.Fatal("append on a dead segment succeeded")
+	}
+	if _, err := l.Append([]byte("after-failure")); err == nil {
+		t.Fatal("poisoned log accepted another append")
+	}
+	// The acknowledged record is still the intact tail of the log.
+	l2, got := collect(t, dir, Options{})
+	defer l2.Close()
+	if !reflect.DeepEqual(got, []string{"acknowledged"}) {
+		t.Fatalf("replay after failed append = %v", got)
+	}
+}
