@@ -5,16 +5,23 @@
 //
 // Usage:
 //
-//	benchgate -old main.txt -new pr.txt [-max-regression 0.15]
+//	benchgate -old main.txt -new pr.txt [-max-regression 0.15] [-json FILE]
 //
 // Each file should come from the same benchmark set run with -count N
 // (N >= 3 recommended); benchgate takes the per-benchmark median, so a
 // single noisy iteration does not fail a build. benchstat remains the
 // human-readable report; benchgate is the machine-checkable verdict.
+// With -json the verdict is additionally written as a machine-readable
+// report (per-benchmark medians and ratios, the geomean, and the
+// pass/fail outcome) — CI archives one per pull request, so the
+// repository accumulates a performance trajectory instead of only a
+// binary gate. The JSON is written even when the gate fails; only input
+// errors leave it absent.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -56,16 +63,34 @@ func median(xs []float64) float64 {
 	return (s[n/2-1] + s[n/2]) / 2
 }
 
-// gate compares the two outputs and returns the geometric-mean ratio
-// (new/old) across the benchmarks they share, writing the table to w.
-func gate(oldR, newR io.Reader, w io.Writer) (float64, error) {
+// benchResult is one shared benchmark's comparison: median ns/op on
+// each side and their ratio (new/old; above 1 is a regression).
+type benchResult struct {
+	Name    string  `json:"name"`
+	OldNsOp float64 `json:"oldNsOp"`
+	NewNsOp float64 `json:"newNsOp"`
+	Ratio   float64 `json:"ratio"`
+}
+
+// report is the machine-readable verdict (-json).
+type report struct {
+	Benchmarks    []benchResult `json:"benchmarks"`
+	GeomeanRatio  float64       `json:"geomeanRatio"`
+	MaxRegression float64       `json:"maxRegression"`
+	Pass          bool          `json:"pass"`
+}
+
+// gate compares the two outputs across the benchmarks they share,
+// writing the human-readable table to w and returning the per-benchmark
+// results and the geometric-mean ratio.
+func gate(oldR, newR io.Reader, w io.Writer) (report, error) {
 	oldS, err := parseBench(oldR)
 	if err != nil {
-		return 0, err
+		return report{}, err
 	}
 	newS, err := parseBench(newR)
 	if err != nil {
-		return 0, err
+		return report{}, err
 	}
 	var names []string
 	for name := range oldS {
@@ -74,37 +99,44 @@ func gate(oldR, newR io.Reader, w io.Writer) (float64, error) {
 		}
 	}
 	if len(names) == 0 {
-		return 0, fmt.Errorf("benchgate: the two runs share no benchmarks")
+		return report{}, fmt.Errorf("benchgate: the two runs share no benchmarks")
 	}
 	sort.Strings(names)
+	rep := report{Benchmarks: make([]benchResult, 0, len(names))}
 	fmt.Fprintf(w, "%-60s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "ratio")
 	logSum := 0.0
 	for _, name := range names {
 		o, n := median(oldS[name]), median(newS[name])
 		if o <= 0 || n <= 0 {
-			return 0, fmt.Errorf("benchgate: non-positive median for %s", name)
+			return report{}, fmt.Errorf("benchgate: non-positive median for %s", name)
 		}
 		ratio := n / o
 		logSum += math.Log(ratio)
+		rep.Benchmarks = append(rep.Benchmarks, benchResult{Name: name, OldNsOp: o, NewNsOp: n, Ratio: ratio})
 		fmt.Fprintf(w, "%-60s %14.0f %14.0f %8.3f\n", name, o, n, ratio)
 	}
-	geomean := math.Exp(logSum / float64(len(names)))
-	fmt.Fprintf(w, "\ngeomean ratio (new/old) over %d benchmarks: %.3f\n", len(names), geomean)
-	return geomean, nil
+	rep.GeomeanRatio = math.Exp(logSum / float64(len(names)))
+	fmt.Fprintf(w, "\ngeomean ratio (new/old) over %d benchmarks: %.3f\n", len(names), rep.GeomeanRatio)
+	return rep, nil
 }
 
 func main() {
-	oldPath := ""
-	newPath := ""
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole program, split from main for tests (and so every
+// path closes its files before returning an exit code — no defers
+// bypassed by os.Exit).
+func run(args []string, stdout, stderr io.Writer) int {
+	oldPath, newPath, jsonPath := "", "", ""
 	maxRegression := 0.15
-	usage := func() {
-		fmt.Fprintf(os.Stderr, "usage: benchgate -old FILE -new FILE [-max-regression 0.15]\n")
-		os.Exit(2)
+	usage := func() int {
+		fmt.Fprintf(stderr, "usage: benchgate -old FILE -new FILE [-max-regression 0.15] [-json FILE]\n")
+		return 2
 	}
-	args := os.Args[1:]
 	for i := 0; i < len(args); i++ {
 		if i+1 >= len(args) {
-			usage() // every flag takes a value
+			return usage() // every flag takes a value
 		}
 		switch args[i] {
 		case "-old":
@@ -113,43 +145,60 @@ func main() {
 		case "-new":
 			i++
 			newPath = args[i]
+		case "-json":
+			i++
+			jsonPath = args[i]
 		case "-max-regression":
 			i++
 			v, err := strconv.ParseFloat(args[i], 64)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "benchgate: bad -max-regression: %v\n", err)
-				os.Exit(2)
+				fmt.Fprintf(stderr, "benchgate: bad -max-regression: %v\n", err)
+				return 2
 			}
 			maxRegression = v
 		default:
-			usage()
+			return usage()
 		}
 	}
 	if oldPath == "" || newPath == "" {
-		fmt.Fprintf(os.Stderr, "usage: benchgate -old FILE -new FILE [-max-regression 0.15]\n")
-		os.Exit(2)
+		return usage()
 	}
 	oldF, err := os.Open(oldPath)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "benchgate: %v\n", err)
+		return 2
 	}
-	defer oldF.Close()
 	newF, err := os.Open(newPath)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
-		os.Exit(2)
+		oldF.Close()
+		fmt.Fprintf(stderr, "benchgate: %v\n", err)
+		return 2
 	}
-	defer newF.Close()
-	geomean, err := gate(oldF, newF, os.Stdout)
+	rep, err := gate(oldF, newF, stdout)
+	oldF.Close()
+	newF.Close()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "benchgate: %v\n", err)
+		return 2
 	}
-	if geomean > 1+maxRegression {
-		fmt.Fprintf(os.Stderr, "benchgate: FAIL: geomean %.3f exceeds the %.0f%% regression budget\n",
-			geomean, maxRegression*100)
-		os.Exit(1)
+	rep.MaxRegression = maxRegression
+	rep.Pass = rep.GeomeanRatio <= 1+maxRegression
+	if jsonPath != "" {
+		raw, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(stderr, "benchgate: %v\n", err)
+			return 2
+		}
+		if err := os.WriteFile(jsonPath, append(raw, '\n'), 0o644); err != nil {
+			fmt.Fprintf(stderr, "benchgate: %v\n", err)
+			return 2
+		}
 	}
-	fmt.Printf("benchgate: OK (budget %.0f%%)\n", maxRegression*100)
+	if !rep.Pass {
+		fmt.Fprintf(stderr, "benchgate: FAIL: geomean %.3f exceeds the %.0f%% regression budget\n",
+			rep.GeomeanRatio, maxRegression*100)
+		return 1
+	}
+	fmt.Fprintf(stdout, "benchgate: OK (budget %.0f%%)\n", maxRegression*100)
+	return 0
 }

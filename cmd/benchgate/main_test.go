@@ -2,7 +2,10 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -46,37 +49,108 @@ func itoa(n int) string {
 func TestGateComputesMedianGeomean(t *testing.T) {
 	// New run: hybrid 10% slower, incremental 10% faster -> geomean ~1.
 	var out bytes.Buffer
-	g, err := gate(strings.NewReader(oldRun), strings.NewReader(newRun(1100000, 450000)), &out)
+	rep, err := gate(strings.NewReader(oldRun), strings.NewReader(newRun(1100000, 450000)), &out)
 	if err != nil {
 		t.Fatalf("gate: %v", err)
 	}
 	want := math.Sqrt(1.1 * 0.9)
-	if math.Abs(g-want) > 0.001 {
-		t.Fatalf("geomean = %.4f, want %.4f\n%s", g, want, out.String())
+	if math.Abs(rep.GeomeanRatio-want) > 0.001 {
+		t.Fatalf("geomean = %.4f, want %.4f\n%s", rep.GeomeanRatio, want, out.String())
 	}
 	// Benchmarks present on only one side must not count.
 	if s := out.String(); strings.Contains(s, "OnlyInOld") || strings.Contains(s, "OnlyInNew") {
 		t.Fatalf("one-sided benchmarks in table:\n%s", s)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("report has %d benchmarks, want 2: %+v", len(rep.Benchmarks), rep.Benchmarks)
+	}
+	// Per-benchmark medians survive into the report.
+	if h := rep.Benchmarks[0]; h.Name != "BenchmarkHybridWorkers/book-cs/workers=1-8" ||
+		h.OldNsOp != 1000000 || h.NewNsOp != 1100000 || math.Abs(h.Ratio-1.1) > 1e-9 {
+		t.Fatalf("hybrid row = %+v", h)
 	}
 }
 
 func TestGateFlagsRegression(t *testing.T) {
 	var out bytes.Buffer
 	// Both 30% slower: geomean 1.3, over any 15% budget.
-	g, err := gate(strings.NewReader(oldRun), strings.NewReader(newRun(1300000, 650000)), &out)
+	rep, err := gate(strings.NewReader(oldRun), strings.NewReader(newRun(1300000, 650000)), &out)
 	if err != nil {
 		t.Fatalf("gate: %v", err)
 	}
-	if g < 1.25 || g > 1.35 {
-		t.Fatalf("geomean = %.3f, want ~1.3", g)
+	if rep.GeomeanRatio < 1.25 || rep.GeomeanRatio > 1.35 {
+		t.Fatalf("geomean = %.3f, want ~1.3", rep.GeomeanRatio)
 	}
 	// And an improvement stays comfortably under 1.
-	g, err = gate(strings.NewReader(oldRun), strings.NewReader(newRun(700000, 350000)), &out)
+	rep, err = gate(strings.NewReader(oldRun), strings.NewReader(newRun(700000, 350000)), &out)
 	if err != nil {
 		t.Fatalf("gate: %v", err)
 	}
-	if g >= 1 {
-		t.Fatalf("improvement scored geomean %.3f", g)
+	if rep.GeomeanRatio >= 1 {
+		t.Fatalf("improvement scored geomean %.3f", rep.GeomeanRatio)
+	}
+}
+
+// TestRunWritesJSONReport drives the whole CLI: the JSON artifact must
+// be written with the full verdict — also (especially) when the gate
+// fails, since CI archives it as the per-PR perf trajectory record.
+func TestRunWritesJSONReport(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "main.txt")
+	newPath := filepath.Join(dir, "pr.txt")
+	jsonPath := filepath.Join(dir, "BENCH_pr.json")
+	if err := os.WriteFile(oldPath, []byte(oldRun), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Passing case: ~neutral geomean.
+	if err := os.WriteFile(newPath, []byte(newRun(1100000, 450000)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-old", oldPath, "-new", newPath, "-json", jsonPath}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("neutral run exited %d; stderr:\n%s", code, stderr.String())
+	}
+	var rep report
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("bad JSON %q: %v", raw, err)
+	}
+	if !rep.Pass || rep.MaxRegression != 0.15 || len(rep.Benchmarks) != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+
+	// Failing case: the gate exits 1 but the JSON verdict is still
+	// recorded, with pass=false.
+	if err := os.WriteFile(newPath, []byte(newRun(1300000, 650000)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code = run([]string{"-old", oldPath, "-new", newPath, "-json", jsonPath, "-max-regression", "0.15"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("regressed run exited %d, want 1", code)
+	}
+	raw, err = os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep = report{}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass || rep.GeomeanRatio < 1.25 {
+		t.Fatalf("failing report = %+v", rep)
+	}
+
+	// Flag errors exit 2 without touching the JSON path.
+	if code := run([]string{"-old", oldPath}, &stdout, &stderr); code != 2 {
+		t.Fatalf("missing -new exited %d, want 2", code)
+	}
+	if code := run([]string{"-old", oldPath, "-new", newPath, "-max-regression", "x"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("bad -max-regression exited %d, want 2", code)
 	}
 }
 

@@ -1,0 +1,468 @@
+// Cluster equivalence acceptance test (ISSUE 4): spawn three real
+// copydetectd processes and a real copygate process, stream interleaved
+// datasets through the gateway, quiesce — and every dataset's wire
+// responses must be byte-identical (timers and scheduler round counters
+// aside) to the same streamed datasets run through a single direct
+// daemon. Then kill one backend mid-stream: only the datasets hashed to
+// it may fail (with 503), while the others keep serving.
+//
+// The gateway is a real process: the test re-execs its own binary,
+// which TestMain turns into copygate when the child marker variable is
+// set. The daemons are the real cmd/copydetectd, built once with the go
+// tool. Set CLUSTER_E2E_LOG_DIR to keep every child's output as
+// <name>.log (CI uploads them as artifacts on failure).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"copydetect/internal/cluster"
+	"copydetect/internal/core"
+	"copydetect/internal/dataset"
+	"copydetect/internal/gen"
+	"copydetect/internal/server"
+)
+
+const childEnv = "COPYGATE_CHILD_ARGS"
+
+var (
+	buildOnce sync.Once
+	buildDir  string
+	buildBin  string
+	buildErr  error
+)
+
+func TestMain(m *testing.M) {
+	if raw := os.Getenv(childEnv); raw != "" {
+		var args []string
+		if err := json.Unmarshal([]byte(raw), &args); err != nil {
+			fmt.Fprintf(os.Stderr, "bad %s: %v\n", childEnv, err)
+			os.Exit(2)
+		}
+		os.Exit(run(args))
+	}
+	code := m.Run()
+	if buildDir != "" {
+		os.RemoveAll(buildDir)
+	}
+	os.Exit(code)
+}
+
+// buildCopydetectd compiles the real daemon once per test run.
+func buildCopydetectd(t *testing.T) string {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skipf("go tool not available: %v", err)
+	}
+	buildOnce.Do(func() {
+		buildDir, buildErr = os.MkdirTemp("", "copygate-e2e-")
+		if buildErr != nil {
+			return
+		}
+		buildBin = filepath.Join(buildDir, "copydetectd")
+		cmd := exec.Command("go", "build", "-o", buildBin, "copydetect/cmd/copydetectd")
+		cmd.Dir = filepath.Join("..", "..") // module root
+		if out, err := cmd.CombinedOutput(); err != nil {
+			buildErr = fmt.Errorf("go build copydetectd: %v\n%s", err, out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return buildBin
+}
+
+// proc is one child process (daemon or gateway) with captured output.
+type proc struct {
+	name   string
+	cmd    *exec.Cmd
+	base   string // http://host:port once serving
+	output *bytes.Buffer
+	exited chan struct{}
+}
+
+// startDaemon launches the built copydetectd binary.
+func startDaemon(t *testing.T, name string, args ...string) *proc {
+	t.Helper()
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	args = append(args, "-addr", "127.0.0.1:0", "-addr-file", addrFile)
+	return spawn(t, name, exec.Command(buildCopydetectd(t), args...), addrFile)
+}
+
+// startGateway re-execs the test binary as a real copygate process (the
+// child marker env variable routes TestMain into run).
+func startGateway(t *testing.T, name string, args ...string) *proc {
+	t.Helper()
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	args = append(args, "-addr", "127.0.0.1:0", "-addr-file", addrFile)
+	raw, err := json.Marshal(args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), childEnv+"="+string(raw))
+	return spawn(t, name, cmd, addrFile)
+}
+
+// spawn starts the child, tees its output, and waits for the address
+// file that signals it is serving.
+func spawn(t *testing.T, name string, cmd *exec.Cmd, addrFile string) *proc {
+	t.Helper()
+	p := &proc{name: name, cmd: cmd, output: &bytes.Buffer{}}
+	var sink io.Writer = p.output
+	if dir := os.Getenv("CLUSTER_E2E_LOG_DIR"); dir != "" {
+		if err := os.MkdirAll(dir, 0o777); err == nil {
+			if f, err := os.Create(filepath.Join(dir, name+".log")); err == nil {
+				t.Cleanup(func() { f.Close() })
+				sink = io.MultiWriter(p.output, f)
+			}
+		}
+	}
+	cmd.Stdout = sink
+	cmd.Stderr = sink
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start %s: %v", name, err)
+	}
+	p.exited = make(chan struct{})
+	go func() {
+		_ = cmd.Wait()
+		close(p.exited)
+	}()
+	t.Cleanup(p.kill)
+
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if raw, err := os.ReadFile(addrFile); err == nil && strings.Contains(string(raw), ":") {
+			p.base = "http://" + strings.TrimSpace(string(raw))
+			return p
+		}
+		select {
+		case <-p.exited:
+			t.Fatalf("%s exited during startup; output:\n%s", name, p.output.String())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	p.kill()
+	t.Fatalf("%s never came up; output:\n%s", name, p.output.String())
+	return nil
+}
+
+// kill SIGKILLs the process and reaps it. Safe to call twice.
+func (p *proc) kill() {
+	if p.cmd.Process != nil {
+		_ = p.cmd.Process.Kill()
+		<-p.exited
+	}
+}
+
+// httpDo runs one JSON request and returns the status and raw body.
+func httpDo(client *http.Client, method, url string, body any) (status int, raw []byte, err error) {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return 0, nil, err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	raw, err = io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, raw, nil
+}
+
+type appendBody struct {
+	Observations []dataset.Record `json:"observations,omitempty"`
+	Truth        []dataset.Record `json:"truth,omitempty"`
+}
+
+// wireClient speaks the copydetectd wire protocol for one dataset
+// through one base URL (gateway or daemon — the protocol is identical,
+// which is the point).
+type wireClient struct {
+	t    *testing.T
+	http *http.Client
+	base string
+	name string
+}
+
+func (c *wireClient) url(suffix string) string {
+	return c.base + "/v1/datasets/" + c.name + suffix
+}
+
+func (c *wireClient) must(method, suffix string, body any, wantStatus int) []byte {
+	c.t.Helper()
+	status, raw, err := httpDo(c.http, method, c.url(suffix), body)
+	if err != nil || status != wantStatus {
+		c.t.Fatalf("%s %s: status=%d err=%v body=%s", method, c.url(suffix), status, err, raw)
+	}
+	return raw
+}
+
+// published gathers the copies, truth and stats bodies. Wall-clock
+// timers and the service-round counter (how many scheduler rounds the
+// appends coalesced into — a timing artifact) are removed; everything
+// else, floats included, must be identical between the cluster and the
+// single daemon.
+func (c *wireClient) published() map[string]map[string]any {
+	c.t.Helper()
+	views := map[string]map[string]any{}
+	for _, ep := range []string{"/copies", "/truth", "/stats"} {
+		raw := c.must(http.MethodGet, ep, nil, http.StatusOK)
+		out := map[string]any{}
+		if err := json.Unmarshal(raw, &out); err != nil {
+			c.t.Fatalf("GET %s: bad body %q: %v", ep, raw, err)
+		}
+		for _, volatile := range []string{"round", "detectMillis", "fusionMillis", "wallMillis"} {
+			delete(out, volatile)
+		}
+		if conv, _ := out["converged"].(bool); !conv {
+			c.t.Fatalf("GET %s after quiesce not converged: %v", ep, out)
+		}
+		views[ep] = out
+	}
+	return views
+}
+
+// workload is the streamed input for one dataset.
+type workload struct {
+	name    string
+	batches [][]dataset.Record
+	truth   []dataset.Record
+}
+
+// makeWorkloads generates the datasets once; both the reference and the
+// cluster run stream exactly these batches in exactly this order.
+func makeWorkloads(t *testing.T, n int) []workload {
+	t.Helper()
+	const batchesPer = 3
+	ws := make([]workload, n)
+	for i := range ws {
+		ds, _, err := gen.Generate(gen.Scale(gen.BookCS(31+int64(i)), 0.04))
+		if err != nil {
+			t.Fatalf("generate workload %d: %v", i, err)
+		}
+		recs := dataset.Records(ds)
+		per := (len(recs) + batchesPer - 1) / batchesPer
+		w := workload{name: fmt.Sprintf("ds-%d", i), truth: dataset.TruthRecords(ds)}
+		for start := 0; start < len(recs); start += per {
+			end := start + per
+			if end > len(recs) {
+				end = len(recs)
+			}
+			w.batches = append(w.batches, recs[start:end])
+		}
+		ws[i] = w
+	}
+	return ws
+}
+
+// stream pushes every workload through base: first batch + quiesce per
+// dataset (pinning round 1, so the final round is INCREMENTAL in both
+// runs), then the remaining batches interleaved round-robin across
+// datasets, then truths, then quiesce. Returns the per-dataset views.
+func stream(t *testing.T, httpClient *http.Client, base string, ws []workload) map[string]map[string]map[string]any {
+	t.Helper()
+	clients := make([]*wireClient, len(ws))
+	for i, w := range ws {
+		clients[i] = &wireClient{t: t, http: httpClient, base: base, name: w.name}
+		clients[i].must(http.MethodPut, "", nil, http.StatusCreated)
+		clients[i].must(http.MethodPost, "/observations", appendBody{Observations: w.batches[0]}, http.StatusAccepted)
+		clients[i].must(http.MethodPost, "/quiesce", nil, http.StatusOK)
+	}
+	maxBatches := 0
+	for _, w := range ws {
+		if len(w.batches) > maxBatches {
+			maxBatches = len(w.batches)
+		}
+	}
+	for j := 1; j < maxBatches; j++ {
+		for i, w := range ws {
+			if j < len(w.batches) {
+				clients[i].must(http.MethodPost, "/observations", appendBody{Observations: w.batches[j]}, http.StatusAccepted)
+			}
+		}
+	}
+	for i, w := range ws {
+		clients[i].must(http.MethodPost, "/observations", appendBody{Truth: w.truth}, http.StatusAccepted)
+	}
+	views := map[string]map[string]map[string]any{}
+	for i, w := range ws {
+		clients[i].must(http.MethodPost, "/quiesce", nil, http.StatusOK)
+		views[w.name] = clients[i].published()
+	}
+	return views
+}
+
+// TestClusterEquivalence is the acceptance criterion. Skipped under
+// -short: it spawns four child processes and has its own CI job
+// (cluster-e2e); the in-process routing/health/retry behavior is
+// covered by internal/cluster's fast tests.
+func TestClusterEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process e2e; run without -short (CI job cluster-e2e)")
+	}
+	ws := makeWorkloads(t, 6)
+	httpClient := &http.Client{Timeout: 90 * time.Second}
+
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			// Reference: the same streamed workload against one direct
+			// daemon (in-process, same handler stack as the real binary).
+			reg := server.NewRegistry(server.Config{Options: core.Options{Workers: workers}})
+			defer reg.Close()
+			ref := httptest.NewServer(server.NewHandler(reg))
+			defer ref.Close()
+			want := stream(t, httpClient, ref.URL, ws)
+
+			// Cluster: three real daemon processes behind a real gateway
+			// process.
+			daemons := make([]*proc, 3)
+			urls := make([]string, 3)
+			for i := range daemons {
+				daemons[i] = startDaemon(t, fmt.Sprintf("copydetectd-w%d-%d", workers, i),
+					"-workers", fmt.Sprint(workers))
+				urls[i] = daemons[i].base
+			}
+			gate := startGateway(t, fmt.Sprintf("copygate-w%d", workers),
+				"-backends", strings.Join(urls, ","), "-probe-every", "100ms")
+			got := stream(t, httpClient, gate.base, ws)
+
+			// The ring is a pure function of the backend list: recompute
+			// placements to name the owner in failures and to pick the
+			// kill victim below.
+			ring, err := cluster.NewRing(urls, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pairsTotal := 0
+			for _, w := range ws {
+				if !reflect.DeepEqual(got[w.name], want[w.name]) {
+					t.Errorf("dataset %q (owner backend %d) diverges from the single daemon:\n got  %v\n want %v",
+						w.name, ring.Owner(w.name), got[w.name], want[w.name])
+				}
+				if algo, _ := got[w.name]["/copies"]["algorithm"].(string); algo != "INCREMENTAL" {
+					t.Errorf("dataset %q final round ran %q, want INCREMENTAL", w.name, algo)
+				}
+				pairs, _ := got[w.name]["/copies"]["pairs"].([]any)
+				pairsTotal += len(pairs)
+			}
+			if pairsTotal == 0 {
+				t.Fatal("workloads detected no copying pairs; enlarge the presets")
+			}
+
+			// ETag revalidation passes through the gateway unchanged.
+			gc := &wireClient{t: t, http: httpClient, base: gate.base, name: ws[0].name}
+			req, err := http.NewRequest(http.MethodGet, gc.url("/copies"), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := httpClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			etag := resp.Header.Get("ETag")
+			if etag == "" {
+				t.Fatal("no ETag through the gateway")
+			}
+			req.Header.Set("If-None-Match", etag)
+			resp, err = httpClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusNotModified {
+				t.Errorf("conditional GET through gateway: %d, want 304", resp.StatusCode)
+			}
+
+			if workers != 4 {
+				return
+			}
+			// Partial failure: kill the owner of ds-0 mid-stream. Only the
+			// datasets hashed to it may fail — with 503 — while every other
+			// dataset keeps accepting appends and serving reads.
+			victim := ring.Owner(ws[0].name)
+			t.Logf("killing backend %d (%s)", victim, urls[victim])
+			daemons[victim].kill()
+			extra := []dataset.Record{{Source: "late-src", Item: "late-item", Value: "late-val"}}
+			for _, w := range ws {
+				wantAppend, wantRead := http.StatusAccepted, http.StatusOK
+				if ring.Owner(w.name) == victim {
+					wantAppend, wantRead = http.StatusServiceUnavailable, http.StatusServiceUnavailable
+				}
+				status, raw, err := httpDo(httpClient, http.MethodPost,
+					gate.base+"/v1/datasets/"+w.name+"/observations", appendBody{Observations: extra})
+				if err != nil || status != wantAppend {
+					t.Errorf("append to %q with backend %d dead: status=%d err=%v body=%s, want %d",
+						w.name, victim, status, err, raw, wantAppend)
+				}
+				status, raw, err = httpDo(httpClient, http.MethodGet,
+					gate.base+"/v1/datasets/"+w.name+"/copies", nil)
+				if err != nil || status != wantRead {
+					t.Errorf("read of %q with backend %d dead: status=%d err=%v body=%s, want %d",
+						w.name, victim, status, err, raw, wantRead)
+				}
+			}
+			// The gateway notices: /healthz degrades once probes eject the
+			// dead backend, and the dataset list marks itself partial.
+			deadline := time.Now().Add(10 * time.Second)
+			for {
+				status, raw, err := httpDo(httpClient, http.MethodGet, gate.base+"/healthz", nil)
+				if err != nil || status != http.StatusOK {
+					t.Fatalf("healthz: status=%d err=%v", status, err)
+				}
+				var hz struct {
+					Status   string                  `json:"status"`
+					Backends []cluster.BackendStatus `json:"backends"`
+				}
+				if err := json.Unmarshal(raw, &hz); err != nil {
+					t.Fatalf("healthz body %q: %v", raw, err)
+				}
+				if hz.Status == "degraded" && !hz.Backends[victim].Healthy {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("gateway never ejected dead backend %d: %s", victim, raw)
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+			status, raw, err := httpDo(httpClient, http.MethodGet, gate.base+"/v1/datasets", nil)
+			if err != nil || status != http.StatusOK {
+				t.Fatalf("degraded list: status=%d err=%v", status, err)
+			}
+			var lr struct {
+				Partial bool `json:"partial"`
+			}
+			if err := json.Unmarshal(raw, &lr); err != nil || !lr.Partial {
+				t.Errorf("list with a dead backend: partial=%v err=%v body=%s", lr.Partial, err, raw)
+			}
+		})
+	}
+}

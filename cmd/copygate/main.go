@@ -1,0 +1,167 @@
+// Command copygate is the cluster front end for copydetectd: a
+// consistent-hash gateway that owns the dataset namespace across N
+// backend daemons. Every dataset-scoped request (create, append, read,
+// quiesce, delete) is routed to the one backend that owns the dataset
+// name on the hash ring and proxied byte-for-byte — ETags included, so
+// clients written against a single daemon work unchanged. The dataset
+// list fans out to every backend and merges; /healthz reports the
+// gateway's view of backend health.
+//
+// Usage:
+//
+//	copygate -backends http://h1:8377,http://h2:8377,http://h3:8377
+//	         [-addr :8378] [-addr-file FILE]
+//	         [-probe-every 1s] [-probe-timeout 500ms] [-retries 2]
+//
+// Backends are probed every -probe-every; a backend that fails twice in
+// a row is ejected (its datasets answer 503 until it returns — data is
+// never rerouted, because only the owner has it) and readmitted after
+// two consecutive successful probes. Idempotent GETs are retried up to
+// -retries times on transport failures. The -backends list and its
+// order are the routing table: every gateway over one cluster must use
+// the same list. See internal/cluster for the design.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"copydetect/internal/cluster"
+)
+
+// options carries the parsed command line; split out for testability.
+type options struct {
+	addr     string
+	addrFile string
+	cfg      cluster.Config
+}
+
+// parseFlags parses args (without the program name) into options.
+func parseFlags(args []string) (options, error) {
+	fs := flag.NewFlagSet("copygate", flag.ContinueOnError)
+	addr := fs.String("addr", ":8378", "listen address")
+	addrFile := fs.String("addr-file", "", "write the bound listen address to this file once serving (for scripts and tests)")
+	backends := fs.String("backends", "", "comma-separated copydetectd base URLs (required; order is the routing table)")
+	probeEvery := fs.Duration("probe-every", time.Second, "health-check period per backend")
+	probeTimeout := fs.Duration("probe-timeout", 0, "timeout of one health probe (0 = half of -probe-every)")
+	retries := fs.Int("retries", 2, "transport-failure retries for idempotent GETs (0 = none)")
+	if err := fs.Parse(args); err != nil {
+		return options{}, err
+	}
+	var urls []string
+	for _, b := range strings.Split(*backends, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			urls = append(urls, b)
+		}
+	}
+	if len(urls) == 0 {
+		return options{}, fmt.Errorf("copygate: -backends is required (comma-separated base URLs)")
+	}
+	for _, u := range urls {
+		if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
+			return options{}, fmt.Errorf("copygate: backend %q must be an http(s) base URL", u)
+		}
+	}
+	if *probeEvery <= 0 {
+		return options{}, fmt.Errorf("copygate: -probe-every must be positive")
+	}
+	if *probeTimeout < 0 {
+		return options{}, fmt.Errorf("copygate: -probe-timeout must be >= 0 (0 = half of -probe-every)")
+	}
+	opt := options{addr: *addr, addrFile: *addrFile}
+	opt.cfg.Backends = urls
+	opt.cfg.ProbeEvery = *probeEvery
+	opt.cfg.ProbeTimeout = *probeTimeout
+	// The flag means what it says: 0 retries is 0 retries. Config uses
+	// its zero value for "default", so map 0 to the explicit "none".
+	opt.cfg.Retries = *retries
+	if *retries <= 0 {
+		opt.cfg.Retries = -1
+	}
+	return opt, nil
+}
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+// run is the whole gateway: parse, build the ring, serve, shut down.
+// It returns the process exit code (split from main so the cluster
+// equivalence test can re-exec the test binary as a real gateway
+// process).
+func run(args []string) int {
+	opt, err := parseFlags(args)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "copygate: %v\n", err)
+		return 2
+	}
+	gw, err := cluster.New(opt.cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "copygate: %v\n", err)
+		return 1
+	}
+	ln, err := net.Listen("tcp", opt.addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "copygate: %v\n", err)
+		gw.Close()
+		return 1
+	}
+	if opt.addrFile != "" {
+		if err := os.WriteFile(opt.addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "copygate: %v\n", err)
+			gw.Close()
+			return 1
+		}
+	}
+	srv := &http.Server{Handler: logRequests(gw)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	retries := opt.cfg.Retries
+	if retries < 0 {
+		retries = 0 // the config's explicit "disabled"; log what the operator asked for
+	}
+	log.Printf("copygate: listening on %s, routing %d backends (probe every %v, retries %d)",
+		ln.Addr(), len(opt.cfg.Backends), opt.cfg.ProbeEvery, retries)
+	for i, b := range opt.cfg.Backends {
+		log.Printf("copygate: backend %d: %s", i, b)
+	}
+
+	select {
+	case err := <-errc:
+		log.Printf("copygate: %v", err)
+		gw.Close()
+		return 1
+	case <-ctx.Done():
+	}
+	log.Printf("copygate: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("copygate: shutdown: %v", err)
+	}
+	gw.Close()
+	return 0
+}
+
+// logRequests is a one-line access log.
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, req)
+		log.Printf("%s %s %v", req.Method, req.URL.Path, time.Since(start).Round(time.Microsecond))
+	})
+}

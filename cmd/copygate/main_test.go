@@ -1,0 +1,62 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestParseFlags exercises every documented flag and the backend-list
+// validation.
+func TestParseFlags(t *testing.T) {
+	opt, err := parseFlags([]string{"-backends", "http://a:1,http://b:2"})
+	if err != nil {
+		t.Fatalf("defaults: %v", err)
+	}
+	if opt.addr != ":8378" || opt.addrFile != "" {
+		t.Fatalf("defaults = %+v", opt)
+	}
+	if len(opt.cfg.Backends) != 2 || opt.cfg.Backends[0] != "http://a:1" || opt.cfg.Backends[1] != "http://b:2" {
+		t.Fatalf("backends = %v", opt.cfg.Backends)
+	}
+	if opt.cfg.ProbeEvery != time.Second || opt.cfg.ProbeTimeout != 0 || opt.cfg.Retries != 2 {
+		t.Fatalf("probe defaults = %+v", opt.cfg)
+	}
+
+	opt, err = parseFlags([]string{
+		"-addr", "127.0.0.1:9100", "-addr-file", "/tmp/gate.addr",
+		"-backends", " http://a:1 , http://b:2,, http://c:3 ",
+		"-probe-every", "250ms", "-probe-timeout", "100ms", "-retries", "5",
+	})
+	if err != nil {
+		t.Fatalf("full flags: %v", err)
+	}
+	if opt.addr != "127.0.0.1:9100" || opt.addrFile != "/tmp/gate.addr" {
+		t.Fatalf("full flags = %+v", opt)
+	}
+	if len(opt.cfg.Backends) != 3 || opt.cfg.Backends[2] != "http://c:3" {
+		t.Fatalf("backends with whitespace = %v", opt.cfg.Backends)
+	}
+	if opt.cfg.ProbeEvery != 250*time.Millisecond || opt.cfg.ProbeTimeout != 100*time.Millisecond || opt.cfg.Retries != 5 {
+		t.Fatalf("probe flags = %+v", opt.cfg)
+	}
+
+	// -retries 0 means zero retries; Config reserves 0 for "default", so
+	// the flag must map it to the explicit "disabled" value.
+	opt, err = parseFlags([]string{"-backends", "http://a:1", "-retries", "0"})
+	if err != nil || opt.cfg.Retries != -1 {
+		t.Fatalf("-retries 0: cfg.Retries = %d (err %v), want -1", opt.cfg.Retries, err)
+	}
+
+	for _, bad := range [][]string{
+		nil,                        // no backends
+		{"-backends", " , "},       // empty after trimming
+		{"-backends", "not-a-url"}, // scheme missing
+		{"-backends", "http://a:1", "-probe-every", "-1s"},
+		{"-backends", "http://a:1", "-probe-timeout", "-1s"},
+		{"-nonsense"},
+	} {
+		if _, err := parseFlags(bad); err == nil {
+			t.Errorf("parseFlags(%v) accepted invalid input", bad)
+		}
+	}
+}

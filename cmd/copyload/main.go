@@ -1,0 +1,403 @@
+// Command copyload is the workload generator for copydetectd and
+// copygate: it streams synthetic datasets (internal/gen, the same
+// presets as datagen) into a daemon or a cluster gateway at a target
+// append rate across many concurrent clients, then reports throughput
+// and latency percentiles. It is both the scale demo for cluster mode
+// and the data source for benchmark trajectory files: with -json the
+// summary is machine-readable.
+//
+// Usage:
+//
+//	copyload -target http://localhost:8378
+//	         [-datasets 4] [-clients 4] [-dataset book-cs] [-scale 0.05]
+//	         [-seed 1] [-batch 500] [-rate 0] [-quiesce] [-json]
+//
+// Each synthetic dataset is split into batches of -batch observations
+// and owned by exactly one client (append order within a dataset must
+// stay sequential); clients interleave their datasets round-robin, so
+// the server sees the mixed stream a real deployment would. -rate caps
+// the global append rate in batches per second (0 = as fast as the
+// target absorbs). With -quiesce (the default) the run ends by driving
+// every dataset to convergence and timing it.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"copydetect/internal/dataset"
+	"copydetect/internal/gen"
+)
+
+// options carries the parsed command line; split out for testability.
+type options struct {
+	target   string
+	datasets int
+	clients  int
+	preset   string
+	scale    float64
+	seed     int64
+	batch    int
+	rate     float64 // appends/second across all clients; 0 = unlimited
+	quiesce  bool
+	jsonOut  bool
+	prefix   string
+}
+
+func parseFlags(args []string) (options, error) {
+	fs := flag.NewFlagSet("copyload", flag.ContinueOnError)
+	target := fs.String("target", "", "base URL of a copydetectd or copygate instance (required)")
+	datasets := fs.Int("datasets", 4, "number of synthetic datasets to stream")
+	clients := fs.Int("clients", 4, "concurrent client connections (each dataset belongs to one client)")
+	preset := fs.String("dataset", "book-cs", "workload preset: book-cs, book-full, stock-1day or stock-2wk")
+	scale := fs.Float64("scale", 0.05, "preset scale factor (1 = paper sizes)")
+	seed := fs.Int64("seed", 1, "base RNG seed (dataset i uses seed+i)")
+	batch := fs.Int("batch", 500, "observations per append batch")
+	rate := fs.Float64("rate", 0, "target append batches/second across all clients (0 = unlimited)")
+	quiesce := fs.Bool("quiesce", true, "drive every dataset to convergence at the end and time it")
+	jsonOut := fs.Bool("json", false, "print the summary as JSON instead of text")
+	prefix := fs.String("prefix", "load", "dataset name prefix (dataset i is named <prefix>-<i>)")
+	if err := fs.Parse(args); err != nil {
+		return options{}, err
+	}
+	opt := options{
+		target: *target, datasets: *datasets, clients: *clients,
+		preset: *preset, scale: *scale, seed: *seed, batch: *batch,
+		rate: *rate, quiesce: *quiesce, jsonOut: *jsonOut, prefix: *prefix,
+	}
+	if opt.target == "" {
+		return options{}, fmt.Errorf("copyload: -target is required")
+	}
+	if opt.datasets < 1 || opt.clients < 1 || opt.batch < 1 {
+		return options{}, fmt.Errorf("copyload: -datasets, -clients and -batch must be at least 1")
+	}
+	if opt.rate < 0 || opt.rate > 1e6 {
+		// The upper bound keeps the ticker interval positive (1e9 would
+		// truncate it to 0 and panic) and is far past any real target.
+		return options{}, fmt.Errorf("copyload: -rate must be between 0 and 1e6")
+	}
+	if opt.prefix == "" {
+		return options{}, fmt.Errorf("copyload: -prefix must be non-empty")
+	}
+	switch opt.preset {
+	case "book-cs", "book-full", "stock-1day", "stock-2wk":
+	default:
+		return options{}, fmt.Errorf("copyload: unknown -dataset %q", opt.preset)
+	}
+	return opt, nil
+}
+
+func presetConfig(name string, seed int64) gen.Config {
+	switch name {
+	case "book-full":
+		return gen.BookFull(seed)
+	case "stock-1day":
+		return gen.Stock1Day(seed)
+	case "stock-2wk":
+		return gen.Stock2Wk(seed)
+	default:
+		return gen.BookCS(seed)
+	}
+}
+
+// splitBatches cuts recs into consecutive batches of at most size
+// records each.
+func splitBatches(recs []dataset.Record, size int) [][]dataset.Record {
+	var out [][]dataset.Record
+	for start := 0; start < len(recs); start += size {
+		end := start + size
+		if end > len(recs) {
+			end = len(recs)
+		}
+		out = append(out, recs[start:end])
+	}
+	return out
+}
+
+// percentile returns the q-quantile (0 < q <= 1) of sorted by the
+// nearest-rank method; zero for an empty slice.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.999999) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// latencyStats summarizes a latency sample in milliseconds.
+type latencyStats struct {
+	P50Millis  float64 `json:"p50Millis"`
+	P90Millis  float64 `json:"p90Millis"`
+	P99Millis  float64 `json:"p99Millis"`
+	MaxMillis  float64 `json:"maxMillis"`
+	MeanMillis float64 `json:"meanMillis"`
+}
+
+func summarize(samples []time.Duration) latencyStats {
+	if len(samples) == 0 {
+		return latencyStats{}
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	ms := func(d time.Duration) float64 { return d.Seconds() * 1e3 }
+	return latencyStats{
+		P50Millis:  ms(percentile(sorted, 0.50)),
+		P90Millis:  ms(percentile(sorted, 0.90)),
+		P99Millis:  ms(percentile(sorted, 0.99)),
+		MaxMillis:  ms(sorted[len(sorted)-1]),
+		MeanMillis: ms(sum / time.Duration(len(sorted))),
+	}
+}
+
+// report is the machine-readable run summary (-json).
+type report struct {
+	Target         string       `json:"target"`
+	Preset         string       `json:"preset"`
+	Scale          float64      `json:"scale"`
+	Datasets       int          `json:"datasets"`
+	Clients        int          `json:"clients"`
+	TargetRate     float64      `json:"targetRate,omitempty"`
+	Appends        int          `json:"appends"`
+	Observations   int          `json:"observations"`
+	Errors         int          `json:"errors"`
+	WallSeconds    float64      `json:"wallSeconds"`
+	AppendsPerSec  float64      `json:"appendsPerSec"`
+	ObsPerSec      float64      `json:"obsPerSec"`
+	AppendLatency  latencyStats `json:"appendLatency"`
+	QuiesceSeconds float64      `json:"quiesceSeconds,omitempty"`
+}
+
+// streamTask is one dataset's pending work, owned by one client.
+type streamTask struct {
+	name    string
+	batches [][]dataset.Record
+	obs     int
+}
+
+type appendRequest struct {
+	Observations []dataset.Record `json:"observations"`
+}
+
+// clientResult is one client's measurements.
+type clientResult struct {
+	appends   int
+	obs       int
+	errors    int
+	latencies []time.Duration
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	opt, err := parseFlags(args)
+	if err != nil {
+		fmt.Fprintf(stderr, "%v\n", err)
+		return 2
+	}
+
+	// Generate the workloads up front so generation cost never pollutes
+	// the measured window.
+	tasks := make([]streamTask, opt.datasets)
+	for i := range tasks {
+		cfg := gen.Scale(presetConfig(opt.preset, opt.seed+int64(i)), opt.scale)
+		ds, _, err := gen.Generate(cfg)
+		if err != nil {
+			fmt.Fprintf(stderr, "copyload: generate dataset %d: %v\n", i, err)
+			return 1
+		}
+		recs := dataset.Records(ds)
+		tasks[i] = streamTask{
+			name:    fmt.Sprintf("%s-%d", opt.prefix, i),
+			batches: splitBatches(recs, opt.batch),
+			obs:     len(recs),
+		}
+	}
+
+	httpClient := &http.Client{}
+	base := opt.target + "/v1/datasets/"
+	for _, task := range tasks {
+		status, body, err := doJSON(httpClient, http.MethodPut, base+task.name, nil)
+		if err != nil || status != http.StatusCreated {
+			fmt.Fprintf(stderr, "copyload: create %s: status=%d err=%v body=%s\n", task.name, status, err, body)
+			return 1
+		}
+	}
+
+	// Global rate limiting: one ticker shared by every client. Ticks
+	// are not buffered beyond one, so a slow target cannot bank tokens
+	// and burst past the cap later.
+	var tokens <-chan time.Time
+	if opt.rate > 0 {
+		ticker := time.NewTicker(time.Duration(float64(time.Second) / opt.rate))
+		defer ticker.Stop()
+		tokens = ticker.C
+	}
+
+	// Each dataset belongs to exactly one client (append order within a
+	// dataset must stay sequential); each client interleaves its
+	// datasets round-robin.
+	perClient := make([][]streamTask, opt.clients)
+	for i, task := range tasks {
+		c := i % opt.clients
+		perClient[c] = append(perClient[c], task)
+	}
+	results := make([]clientResult, opt.clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < opt.clients; c++ {
+		if len(perClient[c]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			res := &results[c]
+			next := make([]int, len(perClient[c])) // next batch index per stream
+			for remaining := true; remaining; {
+				remaining = false
+				for s, task := range perClient[c] {
+					if next[s] >= len(task.batches) {
+						continue
+					}
+					remaining = true
+					if tokens != nil {
+						<-tokens
+					}
+					batch := task.batches[next[s]]
+					next[s]++
+					t0 := time.Now()
+					status, _, err := doJSON(httpClient, http.MethodPost,
+						base+task.name+"/observations", appendRequest{Observations: batch})
+					res.latencies = append(res.latencies, time.Since(t0))
+					if err != nil || status != http.StatusAccepted {
+						// A failed append breaks the dataset's sequential
+						// stream; abandon its remaining batches rather than
+						// appending around a hole. The run exits nonzero.
+						res.errors++
+						next[s] = len(task.batches)
+						continue
+					}
+					res.appends++
+					res.obs += len(batch)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep := report{
+		Target:     opt.target,
+		Preset:     opt.preset,
+		Scale:      opt.scale,
+		Datasets:   opt.datasets,
+		Clients:    opt.clients,
+		TargetRate: opt.rate,
+	}
+	var latencies []time.Duration
+	for _, res := range results {
+		rep.Appends += res.appends
+		rep.Observations += res.obs
+		rep.Errors += res.errors
+		latencies = append(latencies, res.latencies...)
+	}
+	rep.WallSeconds = wall.Seconds()
+	if wall > 0 {
+		rep.AppendsPerSec = float64(rep.Appends) / wall.Seconds()
+		rep.ObsPerSec = float64(rep.Observations) / wall.Seconds()
+	}
+	rep.AppendLatency = summarize(latencies)
+
+	if opt.quiesce {
+		// A failed quiesce (e.g. a backend died mid-run) is an error,
+		// not a reason to discard the measured run: the report below is
+		// most valuable for exactly the runs that went wrong.
+		q0 := time.Now()
+		for _, task := range tasks {
+			status, body, err := doJSON(httpClient, http.MethodPost, base+task.name+"/quiesce", nil)
+			if err != nil || status != http.StatusOK {
+				fmt.Fprintf(stderr, "copyload: quiesce %s: status=%d err=%v body=%s\n", task.name, status, err, body)
+				rep.Errors++
+			}
+		}
+		rep.QuiesceSeconds = time.Since(q0).Seconds()
+	}
+
+	if opt.jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(stderr, "copyload: %v\n", err)
+			return 1
+		}
+	} else {
+		printReport(stdout, rep)
+	}
+	if rep.Errors > 0 {
+		return 1
+	}
+	return 0
+}
+
+func printReport(w io.Writer, rep report) {
+	fmt.Fprintf(w, "copyload: %s ×%g → %s\n", rep.Preset, rep.Scale, rep.Target)
+	fmt.Fprintf(w, "  datasets %d, clients %d", rep.Datasets, rep.Clients)
+	if rep.TargetRate > 0 {
+		fmt.Fprintf(w, ", target rate %.1f appends/s", rep.TargetRate)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "  %d appends (%d observations) in %.2fs — %.1f appends/s, %.0f obs/s, %d errors\n",
+		rep.Appends, rep.Observations, rep.WallSeconds, rep.AppendsPerSec, rep.ObsPerSec, rep.Errors)
+	l := rep.AppendLatency
+	fmt.Fprintf(w, "  append latency ms: p50 %.2f  p90 %.2f  p99 %.2f  max %.2f  mean %.2f\n",
+		l.P50Millis, l.P90Millis, l.P99Millis, l.MaxMillis, l.MeanMillis)
+	if rep.QuiesceSeconds > 0 {
+		fmt.Fprintf(w, "  quiesce to convergence: %.2fs\n", rep.QuiesceSeconds)
+	}
+}
+
+// doJSON runs one JSON request and returns the status and raw body.
+func doJSON(client *http.Client, method, url string, body any) (int, []byte, error) {
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return 0, nil, err
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, raw, nil
+}

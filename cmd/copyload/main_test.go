@@ -1,0 +1,214 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"copydetect/internal/core"
+	"copydetect/internal/dataset"
+	"copydetect/internal/server"
+)
+
+func TestParseFlags(t *testing.T) {
+	opt, err := parseFlags([]string{"-target", "http://x:1"})
+	if err != nil {
+		t.Fatalf("defaults: %v", err)
+	}
+	if opt.datasets != 4 || opt.clients != 4 || opt.batch != 500 || opt.rate != 0 ||
+		!opt.quiesce || opt.jsonOut || opt.preset != "book-cs" || opt.scale != 0.05 || opt.seed != 1 {
+		t.Fatalf("defaults = %+v", opt)
+	}
+
+	opt, err = parseFlags([]string{
+		"-target", "http://x:1", "-datasets", "8", "-clients", "2",
+		"-dataset", "stock-1day", "-scale", "0.2", "-seed", "7",
+		"-batch", "100", "-rate", "50", "-quiesce=false", "-json",
+	})
+	if err != nil {
+		t.Fatalf("full flags: %v", err)
+	}
+	if opt.datasets != 8 || opt.clients != 2 || opt.preset != "stock-1day" ||
+		opt.scale != 0.2 || opt.seed != 7 || opt.batch != 100 || opt.rate != 50 ||
+		opt.quiesce || !opt.jsonOut {
+		t.Fatalf("full flags = %+v", opt)
+	}
+
+	for _, bad := range [][]string{
+		nil, // no target
+		{"-target", "http://x:1", "-datasets", "0"},
+		{"-target", "http://x:1", "-clients", "0"},
+		{"-target", "http://x:1", "-batch", "0"},
+		{"-target", "http://x:1", "-rate", "-1"},
+		{"-target", "http://x:1", "-rate", "2000000000"}, // would zero the ticker interval
+		{"-target", "http://x:1", "-dataset", "nope"},
+		{"-target", "http://x:1", "-prefix", ""},
+		{"-nonsense"},
+	} {
+		if _, err := parseFlags(bad); err == nil {
+			t.Errorf("parseFlags(%v) accepted invalid input", bad)
+		}
+	}
+}
+
+func TestSplitBatches(t *testing.T) {
+	recs := make([]dataset.Record, 7)
+	got := splitBatches(recs, 3)
+	if len(got) != 3 || len(got[0]) != 3 || len(got[1]) != 3 || len(got[2]) != 1 {
+		t.Fatalf("splitBatches(7, 3) sizes = %v", lens(got))
+	}
+	if got := splitBatches(nil, 3); got != nil {
+		t.Errorf("splitBatches(nil) = %v, want nil", got)
+	}
+	if got := splitBatches(recs, 100); len(got) != 1 || len(got[0]) != 7 {
+		t.Errorf("oversized batch = %v", lens(got))
+	}
+}
+
+func lens(b [][]dataset.Record) []int {
+	out := make([]int, len(b))
+	for i := range b {
+		out[i] = len(b[i])
+	}
+	return out
+}
+
+func TestPercentileAndSummarize(t *testing.T) {
+	if percentile(nil, 0.5) != 0 {
+		t.Error("percentile of empty sample not 0")
+	}
+	sorted := []time.Duration{
+		1 * time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond,
+		4 * time.Millisecond, 100 * time.Millisecond,
+	}
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 3 * time.Millisecond},
+		{0.90, 100 * time.Millisecond},
+		{0.99, 100 * time.Millisecond},
+		{0.20, 1 * time.Millisecond},
+		{1.00, 100 * time.Millisecond},
+	} {
+		if got := percentile(sorted, tc.q); got != tc.want {
+			t.Errorf("percentile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	s := summarize([]time.Duration{2 * time.Millisecond, 1 * time.Millisecond})
+	if s.P50Millis != 1 || s.MaxMillis != 2 || s.MeanMillis != 1.5 {
+		t.Errorf("summarize = %+v", s)
+	}
+	if z := summarize(nil); z != (latencyStats{}) {
+		t.Errorf("summarize(nil) = %+v", z)
+	}
+}
+
+// TestQuiesceFailureStillReports: a backend dying before convergence
+// must not discard the measured run — the report (with the error
+// counted) is most valuable exactly then. The run still exits nonzero.
+func TestQuiesceFailureStillReports(t *testing.T) {
+	reg := server.NewRegistry(server.Config{Options: core.Options{Workers: 1}})
+	defer reg.Close()
+	inner := server.NewHandler(reg)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/quiesce") {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, `{"error":"backend gone"}`)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-target", srv.URL, "-datasets", "1", "-clients", "1",
+		"-scale", "0.02", "-batch", "100", "-json",
+	}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("run with failing quiesce exited %d, want 1; stderr:\n%s", code, stderr.String())
+	}
+	var rep report
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("no JSON report despite quiesce failure: %q (%v)", stdout.String(), err)
+	}
+	if rep.Appends == 0 || rep.Errors == 0 {
+		t.Fatalf("report = %+v, want measured appends and the quiesce error counted", rep)
+	}
+}
+
+// TestRunAgainstDaemon streams a small workload into an in-process
+// daemon and checks the JSON report: every batch acknowledged, no
+// errors, convergence reached.
+func TestRunAgainstDaemon(t *testing.T) {
+	reg := server.NewRegistry(server.Config{Options: core.Options{Workers: 1}})
+	defer reg.Close()
+	srv := httptest.NewServer(server.NewHandler(reg))
+	defer srv.Close()
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-target", srv.URL, "-datasets", "3", "-clients", "2",
+		"-scale", "0.02", "-batch", "200", "-json",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run exited %d; stderr:\n%s", code, stderr.String())
+	}
+	var rep report
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("bad JSON report %q: %v", stdout.String(), err)
+	}
+	if rep.Errors != 0 || rep.Appends == 0 || rep.Observations == 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.AppendLatency.MaxMillis <= 0 || rep.WallSeconds <= 0 || rep.QuiesceSeconds <= 0 {
+		t.Fatalf("missing measurements: %+v", rep)
+	}
+	// Everything the generator produced must have been appended.
+	if rep.Datasets != 3 || rep.Clients != 2 {
+		t.Fatalf("echoed config = %+v", rep)
+	}
+	for _, name := range reg.List() {
+		m, ok := reg.Get(name)
+		if !ok || !m.Converged() {
+			t.Errorf("dataset %s not converged after -quiesce run", name)
+		}
+	}
+
+	// The human-readable path renders the same numbers without error.
+	var text bytes.Buffer
+	printReport(&text, rep)
+	if text.Len() == 0 {
+		t.Error("empty text report")
+	}
+
+	// A rate-limited run respects the cap, within slack: 4 batches at
+	// 200/s cannot finish faster than ~15ms.
+	var out2 bytes.Buffer
+	start := time.Now()
+	code = run([]string{
+		"-target", srv.URL, "-datasets", "1", "-clients", "1",
+		"-scale", "0.02", "-batch", "30", "-rate", "200",
+		"-seed", "99", "-prefix", "ratecap", "-quiesce=false", "-json",
+	}, &out2, &stderr)
+	if code != 0 {
+		t.Fatalf("rate-limited run exited %d; stderr:\n%s", code, stderr.String())
+	}
+	var rep2 report
+	if err := json.Unmarshal(out2.Bytes(), &rep2); err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Appends < 2 {
+		t.Fatalf("rate-limited run made only %d appends", rep2.Appends)
+	}
+	minWall := time.Duration(rep2.Appends-1) * (time.Second / 200)
+	if elapsed := time.Since(start); elapsed < minWall {
+		t.Errorf("rate cap violated: %d appends in %v (< %v)", rep2.Appends, elapsed, minWall)
+	}
+}

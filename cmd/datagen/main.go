@@ -46,18 +46,26 @@ func main() {
 	}
 
 	w := os.Stdout
+	var f *os.File
 	if *out != "" {
-		f, err := os.Create(*out)
+		f, err = os.Create(*out)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
 			os.Exit(1)
 		}
-		defer f.Close()
 		w = f
 	}
 	if err := dataset.WriteJSON(w, ds); err != nil {
 		fmt.Fprintf(os.Stderr, "datagen: write: %v\n", err)
 		os.Exit(1)
+	}
+	// Closed explicitly (not deferred): os.Exit skips defers, and a
+	// close error on a fresh file is a write error the user must see.
+	if f != nil {
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "datagen: close: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "datagen: %s — %s; %d planted copying pairs\n",
 		cfg.Name, dataset.Summarize(ds), len(planted.Pairs))

@@ -79,6 +79,23 @@
 // acknowledged appends. The WAL format, snapshot cadence and recovery
 // sequence are documented in DESIGN.md.
 //
+// # Cluster mode
+//
+// One daemon is bounded by one machine. cmd/copygate scales the service
+// horizontally: a consistent-hash gateway (internal/cluster) that owns
+// the dataset namespace over N copydetectd backends. Datasets are
+// already independent convergence units, so sharding whole datasets by
+// a pure hash of the name needs no cross-backend coordination; the
+// gateway proxies every dataset-scoped request to the owner
+// byte-for-byte (ETags included — single-daemon clients work
+// unchanged), fans the dataset list out to all backends, health-checks
+// them with ejection and readmission, and answers 503 for exactly the
+// datasets of a dead backend while the rest keep serving. cmd/copyload
+// generates streaming load against a daemon or gateway and reports
+// throughput and latency percentiles. The cluster's acceptance test
+// proves wire-level equivalence between a three-backend gateway and a
+// single direct daemon.
+//
 // # Quick start
 //
 //	b := copydetect.NewBuilder()

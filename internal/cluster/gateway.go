@@ -1,0 +1,395 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"copydetect/internal/server"
+)
+
+// Config tunes a Gateway. Only Backends is required.
+type Config struct {
+	// Backends are the copydetectd base URLs (e.g. "http://10.0.0.1:8377").
+	// Order matters: the ring is built over this exact list, so every
+	// gateway configured with the same list routes identically.
+	Backends []string
+	// Replicas is the number of virtual nodes per backend on the ring
+	// (<= 0 selects DefaultReplicas). All gateways over one cluster must
+	// agree on it.
+	Replicas int
+
+	// ProbeEvery is the health-check period (default 1s); ProbeTimeout
+	// bounds one probe (default half of ProbeEvery, capped at 2s).
+	ProbeEvery   time.Duration
+	ProbeTimeout time.Duration
+	// EjectAfter ejects a backend after that many consecutive failures
+	// (default 2); ReadmitAfter readmits it after that many consecutive
+	// probe successes (default 2).
+	EjectAfter   int
+	ReadmitAfter int
+
+	// Retries is how many times an idempotent (GET) request is retried
+	// against its owner after a transport failure. 0 selects the default
+	// of 2, negative disables retries; writes are never retried — an
+	// append is not idempotent at the version level.
+	Retries int
+
+	// Transport overrides the outbound round tripper (tests inject
+	// failures here). nil uses http.DefaultTransport.
+	Transport http.RoundTripper
+}
+
+// Gateway routes the copydetectd wire protocol across a fixed set of
+// backends: dataset-scoped requests go to the ring owner of the dataset
+// name and are proxied byte-for-byte (headers included, so ETag /
+// If-None-Match revalidation works unchanged through the gateway);
+// GET /v1/datasets fans out to every backend and merges; GET /healthz
+// reports the gateway's view of backend health.
+type Gateway struct {
+	ring         *Ring
+	backends     []*backend
+	client       *http.Client
+	probeEvery   time.Duration
+	probeTimeout time.Duration
+	listTimeout  time.Duration
+	ejectAfter   int
+	readmitAfter int
+	retries      int
+
+	stop     chan struct{}
+	wg       sync.WaitGroup
+	closedMu sync.Mutex
+	closed   bool
+}
+
+// New builds the gateway and starts its health probes. Close releases
+// them.
+func New(cfg Config) (*Gateway, error) {
+	urls := make([]string, len(cfg.Backends))
+	for i, b := range cfg.Backends {
+		urls[i] = strings.TrimRight(b, "/")
+	}
+	ring, err := NewRing(urls, cfg.Replicas)
+	if err != nil {
+		return nil, err
+	}
+	g := &Gateway{
+		ring:         ring,
+		probeEvery:   cfg.ProbeEvery,
+		probeTimeout: cfg.ProbeTimeout,
+		ejectAfter:   cfg.EjectAfter,
+		readmitAfter: cfg.ReadmitAfter,
+		retries:      cfg.Retries,
+		stop:         make(chan struct{}),
+	}
+	if g.probeEvery <= 0 {
+		g.probeEvery = time.Second
+	}
+	if g.probeTimeout <= 0 {
+		g.probeTimeout = g.probeEvery / 2
+		if g.probeTimeout > 2*time.Second {
+			g.probeTimeout = 2 * time.Second
+		}
+	}
+	// The list fan-out is a cheap read and must not hang on a stalled
+	// (SIGSTOP'd, blackholed) backend the way a legitimately blocking
+	// quiesce proxy may: bound it generously relative to the probe
+	// budget. Only the proxy path stays unbounded.
+	g.listTimeout = 10 * g.probeTimeout
+	if g.listTimeout < time.Second {
+		g.listTimeout = time.Second
+	}
+	if g.listTimeout > 30*time.Second {
+		g.listTimeout = 30 * time.Second
+	}
+	if g.ejectAfter <= 0 {
+		g.ejectAfter = 2
+	}
+	if g.readmitAfter <= 0 {
+		g.readmitAfter = 2
+	}
+	if g.retries < 0 {
+		g.retries = 0
+	} else if g.retries == 0 {
+		g.retries = 2
+	}
+	// No client timeout: quiesce blocks for as long as convergence
+	// takes, and the incoming request's context already propagates
+	// client disconnects. Probes use their own deadline.
+	g.client = &http.Client{Transport: cfg.Transport}
+	g.backends = make([]*backend, ring.NumBackends())
+	for i := range g.backends {
+		g.backends[i] = newBackend(ring.Backend(i))
+		g.wg.Add(1)
+		go g.monitor(g.backends[i])
+	}
+	return g, nil
+}
+
+// Close stops the health probes. In-flight proxied requests are not
+// interrupted; the caller shuts the HTTP server down around this.
+func (g *Gateway) Close() {
+	g.closedMu.Lock()
+	defer g.closedMu.Unlock()
+	if g.closed {
+		return
+	}
+	g.closed = true
+	close(g.stop)
+	g.wg.Wait()
+}
+
+// Ring exposes the routing table, for tests and tooling that need to
+// predict placements.
+func (g *Gateway) Ring() *Ring { return g.ring }
+
+// Status returns the health of every backend, in ring (configuration)
+// order.
+func (g *Gateway) Status() []BackendStatus {
+	out := make([]BackendStatus, len(g.backends))
+	for i, b := range g.backends {
+		out[i] = b.status()
+	}
+	return out
+}
+
+// healthzResponse is the gateway's own /healthz body. Status is "ok"
+// with every backend healthy, "degraded" otherwise — the gateway itself
+// keeps serving either way.
+type healthzResponse struct {
+	Status   string          `json:"status"`
+	Backends []BackendStatus `json:"backends"`
+}
+
+// listResponse mirrors the daemon's list body; Partial marks a merge
+// that could not reach every backend (only then is it present, so a
+// fully healthy cluster lists byte-identically to a single daemon).
+type listResponse struct {
+	Datasets []server.Info `json:"datasets"`
+	Partial  bool          `json:"partial,omitempty"`
+}
+
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	path := req.URL.Path
+	switch {
+	case path == "/healthz":
+		if req.Method != http.MethodGet {
+			writeErr(w, http.StatusMethodNotAllowed, "use GET")
+			return
+		}
+		g.healthz(w)
+	case path == "/v1/datasets":
+		if req.Method != http.MethodGet {
+			writeErr(w, http.StatusMethodNotAllowed, "use GET; create with PUT /v1/datasets/{name}")
+			return
+		}
+		g.list(w, req)
+	case strings.HasPrefix(path, "/v1/datasets/"):
+		name := strings.TrimPrefix(path, "/v1/datasets/")
+		if i := strings.IndexByte(name, '/'); i >= 0 {
+			name = name[:i]
+		}
+		if name == "" {
+			writeErr(w, http.StatusNotFound, "unknown path")
+			return
+		}
+		g.proxy(w, req, name)
+	default:
+		writeErr(w, http.StatusNotFound, "unknown path")
+	}
+}
+
+func (g *Gateway) healthz(w http.ResponseWriter) {
+	resp := healthzResponse{Status: "ok", Backends: g.Status()}
+	for _, b := range resp.Backends {
+		if !b.Healthy {
+			resp.Status = "degraded"
+			break
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// proxy forwards a dataset-scoped request to the ring owner of name and
+// relays the response verbatim. Transport failures yield 503 (the
+// dataset's data lives only on its owner — rerouting is impossible);
+// idempotent GETs are retried a bounded number of times first.
+func (g *Gateway) proxy(w http.ResponseWriter, req *http.Request, name string) {
+	b := g.backends[g.ring.Owner(name)]
+	if !b.isHealthy() {
+		writeErr(w, http.StatusServiceUnavailable,
+			fmt.Sprintf("cluster: backend %s (owner of dataset %q) is unavailable", b.url, name))
+		return
+	}
+	// Only idempotent reads (GET/HEAD) are retried. Their bodies are
+	// dropped rather than buffered: the daemon never reads them, a
+	// resend would otherwise require holding the whole body in gateway
+	// memory, and an unbounded ReadAll would hand that memory decision
+	// to the client. Writes stream straight through — an append is
+	// never retried, so nothing needs buffering there either.
+	attempts := 1
+	stream := true
+	if req.Method == http.MethodGet || req.Method == http.MethodHead {
+		attempts += g.retries
+		stream = false
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			if req.Context().Err() != nil || !b.isHealthy() {
+				break // client gone, or probes ejected the backend meanwhile
+			}
+		}
+		var rd io.Reader
+		if stream {
+			rd = req.Body
+		}
+		out, err := http.NewRequestWithContext(req.Context(), req.Method,
+			b.url+req.URL.RequestURI(), rd)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, fmt.Sprintf("cluster: %v", err))
+			return
+		}
+		if stream {
+			// Streamed pass-through: preserve the client's Content-Length
+			// instead of degrading to chunked encoding.
+			out.ContentLength = req.ContentLength
+		}
+		copyHeader(out.Header, req.Header)
+		resp, err := g.client.Do(out)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		b.reportSuccess(g.readmitAfter, false)
+		relay(w, resp)
+		return
+	}
+	// One logical request counts at most one failure against the
+	// backend, however many retry attempts it burned — otherwise a
+	// single retried GET could run through the whole ejection budget
+	// and defeat the hysteresis. And a transport failure indicts the
+	// backend only if the *client* didn't hang up first: impatient
+	// clients must never eject a healthy backend.
+	if lastErr != nil && req.Context().Err() == nil {
+		b.reportFailure(g.ejectAfter, lastErr)
+	}
+	writeErr(w, http.StatusServiceUnavailable,
+		fmt.Sprintf("cluster: backend %s (owner of dataset %q) is unavailable: %v", b.url, name, lastErr))
+}
+
+// list fans GET /v1/datasets out to every backend concurrently and
+// merges the results, sorted by dataset name — the same order a single
+// daemon would produce. Backends that are ejected or unreachable are
+// skipped and the response is marked partial.
+func (g *Gateway) list(w http.ResponseWriter, req *http.Request) {
+	type result struct {
+		infos []server.Info
+		ok    bool
+	}
+	ctx, cancel := context.WithTimeout(req.Context(), g.listTimeout)
+	defer cancel()
+	results := make([]result, len(g.backends))
+	var wg sync.WaitGroup
+	for i, b := range g.backends {
+		if !b.isHealthy() {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, b *backend) {
+			defer wg.Done()
+			out, err := http.NewRequestWithContext(ctx, http.MethodGet, b.url+"/v1/datasets", nil)
+			if err != nil {
+				return
+			}
+			resp, err := g.client.Do(out)
+			if err != nil {
+				// As in proxy: a fan-out aborted by the client's own
+				// cancellation says nothing about backend health (and
+				// would tick a failure on every backend at once).
+				if req.Context().Err() == nil {
+					b.reportFailure(g.ejectAfter, err)
+				}
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				_, _ = io.Copy(io.Discard, resp.Body)
+				return
+			}
+			b.reportSuccess(g.readmitAfter, false)
+			var body listResponse
+			if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+				return
+			}
+			results[i] = result{infos: body.Datasets, ok: true}
+		}(i, b)
+	}
+	wg.Wait()
+	merged := listResponse{Datasets: []server.Info{}}
+	for _, r := range results {
+		if !r.ok {
+			merged.Partial = true
+			continue
+		}
+		merged.Datasets = append(merged.Datasets, r.infos...)
+	}
+	sort.Slice(merged.Datasets, func(a, b int) bool {
+		return merged.Datasets[a].Name < merged.Datasets[b].Name
+	})
+	writeJSON(w, http.StatusOK, merged)
+}
+
+// relay copies a backend response to the client verbatim: status,
+// headers (ETag included) and body bytes.
+func relay(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	copyHeader(w.Header(), resp.Header)
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// hopByHop are the connection-scoped headers a proxy must not forward
+// (RFC 9110 §7.6.1).
+var hopByHop = []string{
+	"Connection", "Keep-Alive", "Proxy-Authenticate", "Proxy-Authorization",
+	"Proxy-Connection", "Te", "Trailer", "Transfer-Encoding", "Upgrade",
+}
+
+func copyHeader(dst, src http.Header) {
+	for k, vs := range src {
+		for _, v := range vs {
+			dst.Add(k, v)
+		}
+	}
+	for _, k := range hopByHop {
+		dst.Del(k)
+	}
+}
+
+// writeJSON/writeErr mirror the daemon's response formatting exactly,
+// so gateway-originated errors are indistinguishable in shape from
+// backend-originated ones.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// errorResponse matches internal/server's error body shape.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeErr(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorResponse{Error: msg})
+}

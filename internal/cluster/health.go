@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// BackendStatus is the externally visible health of one backend, as
+// reported by the gateway's /healthz endpoint.
+type BackendStatus struct {
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	// ConsecutiveFailures counts probe/request failures since the last
+	// success; ConsecutiveSuccesses counts probe successes since the
+	// last failure while ejected (progress toward readmission).
+	ConsecutiveFailures  int    `json:"consecutiveFailures,omitempty"`
+	ConsecutiveSuccesses int    `json:"consecutiveSuccesses,omitempty"`
+	LastError            string `json:"lastError,omitempty"`
+}
+
+// backend tracks one copydetectd replica's health. The state machine
+// has two states, healthy and ejected, with hysteresis in both
+// directions so a single flaky probe neither ejects nor readmits:
+//
+//	healthy --[ejectAfter consecutive failures]--> ejected
+//	ejected --[readmitAfter consecutive probe successes]--> healthy
+//
+// Failures are reported both by the prober and by the proxy path (a
+// request that cannot reach the backend is as good a signal as a failed
+// probe); successes on the proxy path reset the failure streak.
+// Readmission, however, is driven only by probes: the proxy never
+// sends requests to an ejected backend, so probes are the only way
+// back.
+type backend struct {
+	url string // base URL, no trailing slash
+
+	mu      sync.Mutex
+	healthy bool
+	fails   int // consecutive failures (any source)
+	oks     int // consecutive probe successes while ejected
+	lastErr string
+}
+
+func newBackend(url string) *backend {
+	// Backends start healthy: the gateway is useful immediately, and a
+	// dead backend is ejected within ejectAfter probe periods (or on
+	// the first failed requests).
+	return &backend{url: url, healthy: true}
+}
+
+func (b *backend) isHealthy() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.healthy
+}
+
+// reportSuccess records a successful probe or proxied request.
+func (b *backend) reportSuccess(readmitAfter int, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	b.lastErr = ""
+	if b.healthy {
+		return
+	}
+	if !probe {
+		return // proxy requests are never sent while ejected; ignore stragglers
+	}
+	b.oks++
+	if b.oks >= readmitAfter {
+		b.healthy = true
+		b.oks = 0
+	}
+}
+
+// reportFailure records a failed probe or proxied request.
+func (b *backend) reportFailure(ejectAfter int, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.oks = 0
+	b.fails++
+	if err != nil {
+		b.lastErr = err.Error()
+	}
+	if b.healthy && b.fails >= ejectAfter {
+		b.healthy = false
+	}
+}
+
+func (b *backend) status() BackendStatus {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BackendStatus{
+		URL:                  b.url,
+		Healthy:              b.healthy,
+		ConsecutiveFailures:  b.fails,
+		ConsecutiveSuccesses: b.oks,
+		LastError:            b.lastErr,
+	}
+}
+
+// monitor probes the backend's /healthz every probeEvery until stop
+// closes. One goroutine per backend; the first tick fires after one
+// period, which is fine because backends start healthy.
+func (g *Gateway) monitor(b *backend) {
+	defer g.wg.Done()
+	ticker := time.NewTicker(g.probeEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-ticker.C:
+		}
+		g.probe(b)
+	}
+}
+
+// probe performs one health check against the backend.
+func (g *Gateway) probe(b *backend) {
+	ctx, cancel := context.WithTimeout(context.Background(), g.probeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.url+"/healthz", nil)
+	if err != nil {
+		b.reportFailure(g.ejectAfter, err)
+		return
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		b.reportFailure(g.ejectAfter, err)
+		return
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.reportFailure(g.ejectAfter, fmt.Errorf("cluster: probe status %d", resp.StatusCode))
+		return
+	}
+	b.reportSuccess(g.readmitAfter, true)
+}

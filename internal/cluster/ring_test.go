@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestNewRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("empty backend list accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 0); err == nil {
+		t.Error("empty backend accepted")
+	}
+	if _, err := NewRing([]string{"a", "b", "a"}, 0); err == nil {
+		t.Error("duplicate backend accepted")
+	}
+}
+
+func TestRingDeterministic(t *testing.T) {
+	backends := []string{"http://b0:1", "http://b1:1", "http://b2:1"}
+	r1, err := NewRing(backends, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing(backends, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		name := fmt.Sprintf("ds-%d", i)
+		if r1.Owner(name) != r2.Owner(name) {
+			t.Fatalf("ring not deterministic for %q: %d vs %d", name, r1.Owner(name), r2.Owner(name))
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	backends := []string{"http://b0:1", "http://b1:1", "http://b2:1"}
+	r, err := NewRing(backends, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, len(backends))
+	const n = 3000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("ds-%d", i))]++
+	}
+	// With DefaultReplicas virtual nodes the split should be within a
+	// factor of ~2 of even; this is deterministic (fixed names, fixed
+	// hash), so the assertion cannot flake.
+	for i, c := range counts {
+		if c < n/len(backends)/2 || c > n*2/len(backends) {
+			t.Errorf("backend %d owns %d of %d keys — ring badly unbalanced: %v", i, c, n, counts)
+		}
+	}
+}
+
+func TestRingMinimalDisruption(t *testing.T) {
+	three := []string{"http://b0:1", "http://b1:1", "http://b2:1"}
+	four := append(append([]string(nil), three...), "http://b3:1")
+	r3, err := NewRing(three, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := NewRing(four, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved, total := 0, 2000
+	for i := 0; i < total; i++ {
+		name := fmt.Sprintf("ds-%d", i)
+		o3, o4 := r3.Owner(name), r4.Owner(name)
+		if o3 != o4 {
+			moved++
+			// Consistent hashing: a key may only move *to* the new backend.
+			if four[o4] != "http://b3:1" {
+				t.Fatalf("key %q moved from %s to %s, not to the new backend", name, three[o3], four[o4])
+			}
+		}
+	}
+	// Expected share moved is ~1/4; allow a generous band (deterministic).
+	if moved == 0 || moved > total/2 {
+		t.Errorf("adding one backend moved %d of %d keys", moved, total)
+	}
+}
+
+func TestRingAccessors(t *testing.T) {
+	backends := []string{"u0", "u1"}
+	r, err := NewRing(backends, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumBackends() != 2 || r.Backend(0) != "u0" || r.Backend(1) != "u1" {
+		t.Errorf("accessors: n=%d b0=%q b1=%q", r.NumBackends(), r.Backend(0), r.Backend(1))
+	}
+}

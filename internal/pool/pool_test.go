@@ -4,7 +4,89 @@ import (
 	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 )
+
+func TestOwns(t *testing.T) {
+	// workers <= 1: the single worker owns everything, including ids the
+	// modulo would reject.
+	for _, workers := range []int{-3, 0, 1} {
+		for _, id := range []int{0, 1, 17, 1 << 20} {
+			if !Owns(workers, 0, id) {
+				t.Errorf("Owns(%d, 0, %d) = false, want true", workers, id)
+			}
+		}
+	}
+	// Multi-worker: every id is owned by exactly one worker, and that
+	// worker is id%workers — the contract every sharded kernel relies on
+	// (their shard functions must agree exactly; see DESIGN.md).
+	for _, workers := range []int{2, 3, 7} {
+		for id := 0; id < 100; id++ {
+			owners := 0
+			for w := 0; w < workers; w++ {
+				if Owns(workers, w, id) {
+					owners++
+					if w != id%workers {
+						t.Errorf("Owns(%d, %d, %d) true, want owner %d", workers, w, id, id%workers)
+					}
+				}
+			}
+			if owners != 1 {
+				t.Errorf("workers=%d id=%d has %d owners, want exactly 1", workers, id, owners)
+			}
+		}
+	}
+}
+
+// TestRunCallerShardPanicReleasesWorkers covers Run's error path: fn(0)
+// runs on the calling goroutine, so a panic there propagates to the
+// caller and skips the drain loop. The done channel is buffered for
+// exactly this case — the spawned workers must still run to completion
+// and exit instead of leaking, blocked on an undrained channel.
+func TestRunCallerShardPanicReleasesWorkers(t *testing.T) {
+	const workers = 8
+	var ran atomic.Int32
+	gate := make(chan struct{})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic on shard 0 did not propagate to the caller")
+			}
+		}()
+		Run(workers, func(w int) {
+			if w == 0 {
+				panic("shard 0 exploded")
+			}
+			<-gate // hold every worker until the caller has panicked
+			ran.Add(1)
+		})
+	}()
+	close(gate)
+	// The workers were deliberately still running when the panic
+	// propagated; they must all finish on their own.
+	deadline := time.Now().Add(10 * time.Second)
+	for ran.Load() != workers-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d workers completed after caller panic", ran.Load(), workers-1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	goroutineSettle(t)
+}
+
+// goroutineSettle polls until the goroutine count returns to (near) the
+// pre-test baseline, failing if workers leaked.
+func goroutineSettle(t *testing.T) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= 8 { // test main + runtime helpers
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Errorf("%d goroutines still alive long after Run returned", runtime.NumGoroutine())
+}
 
 func TestClamp(t *testing.T) {
 	for _, tc := range []struct{ in, want int }{

@@ -1,0 +1,123 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"copydetect/internal/core"
+)
+
+// TestListOrderingUnderConcurrentCreateDelete hammers Create/Delete
+// from several goroutines while readers call List, asserting every
+// observed listing is sorted, duplicate-free, and always contains the
+// stable datasets that no mutator touches. Run under -race in CI, this
+// also proves List's locking discipline.
+func TestListOrderingUnderConcurrentCreateDelete(t *testing.T) {
+	reg := NewRegistry(Config{Options: core.Options{Workers: 1}})
+	defer reg.Close()
+
+	var stable []string
+	for i := 0; i < 5; i++ {
+		name := fmt.Sprintf("stable-%d", i)
+		stable = append(stable, name)
+		if _, err := reg.Create(name, DatasetConfig{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sort.Strings(stable)
+
+	const (
+		mutators  = 4
+		readers   = 4
+		churnPool = 8 // churned names per mutator
+		rounds    = 200
+	)
+	var mutWG, readWG sync.WaitGroup
+	var listings atomic.Int64
+	stop := make(chan struct{})
+
+	for r := 0; r < readers; r++ {
+		readWG.Add(1)
+		go func() {
+			defer readWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				names := reg.List()
+				listings.Add(1)
+				if !sort.StringsAreSorted(names) {
+					t.Errorf("List not sorted: %v", names)
+					return
+				}
+				seen := make(map[string]bool, len(names))
+				for _, n := range names {
+					if seen[n] {
+						t.Errorf("List has duplicate %q: %v", n, names)
+						return
+					}
+					seen[n] = true
+				}
+				for _, s := range stable {
+					if !seen[s] {
+						t.Errorf("List lost stable dataset %q: %v", s, names)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	// Each mutator churns its own name pool, so Create never races
+	// another goroutine's Create of the same name — Delete/Create
+	// interleavings with List are what this test is about.
+	for m := 0; m < mutators; m++ {
+		mutWG.Add(1)
+		go func(m int) {
+			defer mutWG.Done()
+			rng := rand.New(rand.NewSource(int64(m)))
+			live := make(map[string]bool)
+			for i := 0; i < rounds; i++ {
+				name := fmt.Sprintf("churn-%d-%d", m, rng.Intn(churnPool))
+				if live[name] {
+					if !reg.Delete(name) {
+						t.Errorf("Delete(%q) lost a live dataset", name)
+					}
+					delete(live, name)
+				} else {
+					if _, err := reg.Create(name, DatasetConfig{}); err != nil {
+						t.Errorf("Create(%q): %v", name, err)
+					}
+					live[name] = true
+				}
+			}
+			for name := range live {
+				reg.Delete(name)
+			}
+		}(m)
+	}
+
+	// Let the mutators finish first so the readers observe the whole
+	// churn window, then stop the readers.
+	mutWG.Wait()
+	close(stop)
+	readWG.Wait()
+
+	if listings.Load() == 0 {
+		t.Fatal("readers never observed a listing")
+	}
+	got := reg.List()
+	if !sort.StringsAreSorted(got) {
+		t.Fatalf("final List not sorted: %v", got)
+	}
+	want := append([]string(nil), stable...)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("after churn List = %v, want the stable set %v", got, want)
+	}
+}
