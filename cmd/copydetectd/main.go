@@ -23,6 +23,16 @@
 // uninterrupted process would have. See the package comments of
 // internal/server and internal/wal for the wire protocol, the on-disk
 // format and the crash-recovery guarantee.
+//
+// The daemon also speaks the replication vocabulary cmd/copygate's
+// cluster mode drives: appends may carry an X-Copydetect-Seq sequence
+// number (replayed deliveries are acknowledged without re-applying;
+// gaps are refused with 409), GET /v1/datasets/{name}/export serializes
+// a dataset's full appended state plus its round counter in the
+// bit-exact binary codec, and POST /v1/datasets/{name}/import installs
+// such a blob if it is newer than the local state — the anti-entropy
+// pair a recovered replica catches up with. All of it works against a
+// single daemon too; no cluster required.
 package main
 
 import (

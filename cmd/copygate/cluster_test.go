@@ -1,10 +1,16 @@
-// Cluster equivalence acceptance test (ISSUE 4): spawn three real
-// copydetectd processes and a real copygate process, stream interleaved
-// datasets through the gateway, quiesce — and every dataset's wire
-// responses must be byte-identical (timers and scheduler round counters
-// aside) to the same streamed datasets run through a single direct
-// daemon. Then kill one backend mid-stream: only the datasets hashed to
-// it may fail (with 503), while the others keep serving.
+// Cluster equivalence acceptance test (ISSUE 4, extended for
+// replication in ISSUE 5): spawn three real copydetectd processes and a
+// real copygate process (running the default -replicas 2), stream
+// interleaved datasets through the gateway, quiesce — and every
+// dataset's wire responses must be byte-identical (timers and scheduler
+// round counters aside) to the same streamed datasets run through a
+// single direct daemon. Then SIGKILL one backend mid-stream: with
+// replication, not a single request may fail — appends and reads fail
+// over to the replica (marked X-Copydetect-Replica) — and the final
+// converged responses must still match the single uninterrupted daemon.
+// Finally the killed backend is restarted on its old address and
+// anti-entropy must catch it back up until it serves its datasets again
+// as primary.
 //
 // The gateway is a real process: the test re-execs its own binary,
 // which TestMain turns into copygate when the child marker variable is
@@ -94,11 +100,18 @@ type proc struct {
 	exited chan struct{}
 }
 
-// startDaemon launches the built copydetectd binary.
+// startDaemon launches the built copydetectd binary on an ephemeral
+// port; startDaemonAt pins the listen address (restarting a killed
+// backend must come back where the ring expects it).
 func startDaemon(t *testing.T, name string, args ...string) *proc {
 	t.Helper()
+	return startDaemonAt(t, name, "127.0.0.1:0", args...)
+}
+
+func startDaemonAt(t *testing.T, name, addr string, args ...string) *proc {
+	t.Helper()
 	addrFile := filepath.Join(t.TempDir(), "addr")
-	args = append(args, "-addr", "127.0.0.1:0", "-addr-file", addrFile)
+	args = append(args, "-addr", addr, "-addr-file", addrFile)
 	return spawn(t, name, exec.Command(buildCopydetectd(t), args...), addrFile)
 }
 
@@ -168,30 +181,37 @@ func (p *proc) kill() {
 	}
 }
 
-// httpDo runs one JSON request and returns the status and raw body.
+// httpDo runs one JSON request and returns the status and raw body;
+// httpDoHdr additionally returns the response headers (the replication
+// phase checks the X-Copydetect-Replica failover marker).
 func httpDo(client *http.Client, method, url string, body any) (status int, raw []byte, err error) {
+	status, _, raw, err = httpDoHdr(client, method, url, body)
+	return status, raw, err
+}
+
+func httpDoHdr(client *http.Client, method, url string, body any) (status int, hdr http.Header, raw []byte, err error) {
 	var rd io.Reader
 	if body != nil {
 		b, err := json.Marshal(body)
 		if err != nil {
-			return 0, nil, err
+			return 0, nil, nil, err
 		}
 		rd = bytes.NewReader(b)
 	}
 	req, err := http.NewRequest(method, url, rd)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
 	resp, err := client.Do(req)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
 	defer resp.Body.Close()
 	raw, err = io.ReadAll(resp.Body)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
-	return resp.StatusCode, raw, nil
+	return resp.StatusCode, resp.Header, raw, nil
 }
 
 type appendBody struct {
@@ -405,54 +425,65 @@ func TestClusterEquivalence(t *testing.T) {
 			if workers != 4 {
 				return
 			}
-			// Partial failure: kill the owner of ds-0 mid-stream. Only the
-			// datasets hashed to it may fail — with 503 — while every other
-			// dataset keeps accepting appends and serving reads.
+			// Replication failover (the ISSUE 5 acceptance criterion): the
+			// gateway runs the default -replicas 2, so SIGKILLing the owner
+			// of ds-0 mid-stream must not surface a single 5xx — every
+			// append and read fails over to the replica within the request —
+			// and the final converged responses must still be byte-identical
+			// (timers and round counters aside) to the single daemon.
 			victim := ring.Owner(ws[0].name)
-			t.Logf("killing backend %d (%s)", victim, urls[victim])
-			daemons[victim].kill()
-			extra := []dataset.Record{{Source: "late-src", Item: "late-item", Value: "late-val"}}
+			victimAddr := strings.TrimPrefix(urls[victim], "http://")
+			extra1 := []dataset.Record{{Source: "late-src", Item: "late-item", Value: "late-val"}}
+			extra2 := []dataset.Record{{Source: "later-src", Item: "late-item", Value: "late-val"}}
+
+			// Wave 1 lands with every backend alive...
 			for _, w := range ws {
-				wantAppend, wantRead := http.StatusAccepted, http.StatusOK
-				if ring.Owner(w.name) == victim {
-					wantAppend, wantRead = http.StatusServiceUnavailable, http.StatusServiceUnavailable
-				}
 				status, raw, err := httpDo(httpClient, http.MethodPost,
-					gate.base+"/v1/datasets/"+w.name+"/observations", appendBody{Observations: extra})
-				if err != nil || status != wantAppend {
-					t.Errorf("append to %q with backend %d dead: status=%d err=%v body=%s, want %d",
-						w.name, victim, status, err, raw, wantAppend)
+					gate.base+"/v1/datasets/"+w.name+"/observations", appendBody{Observations: extra1})
+				if err != nil || status != http.StatusAccepted {
+					t.Fatalf("append wave 1 to %q: status=%d err=%v body=%s", w.name, status, err, raw)
 				}
-				status, raw, err = httpDo(httpClient, http.MethodGet,
+			}
+			t.Logf("killing backend %d (%s) mid-stream", victim, urls[victim])
+			daemons[victim].kill()
+			// ...wave 2 lands with the victim dead: zero 5xx, and requests
+			// for the victim's datasets are answered by the replica, marked.
+			for _, w := range ws {
+				status, hdr, raw, err := httpDoHdr(httpClient, http.MethodPost,
+					gate.base+"/v1/datasets/"+w.name+"/observations", appendBody{Observations: extra2})
+				if err != nil || status != http.StatusAccepted {
+					t.Errorf("append to %q with backend %d dead: status=%d err=%v body=%s, want 202 (zero 5xx)",
+						w.name, victim, status, err, raw)
+				}
+				if ring.Owner(w.name) == victim && hdr.Get("X-Copydetect-Replica") != "true" {
+					t.Errorf("failover append to %q not marked X-Copydetect-Replica", w.name)
+				}
+				status, hdr, raw, err = httpDoHdr(httpClient, http.MethodGet,
 					gate.base+"/v1/datasets/"+w.name+"/copies", nil)
-				if err != nil || status != wantRead {
-					t.Errorf("read of %q with backend %d dead: status=%d err=%v body=%s, want %d",
-						w.name, victim, status, err, raw, wantRead)
+				if err != nil || status != http.StatusOK {
+					t.Errorf("read of %q with backend %d dead: status=%d err=%v body=%s, want 200 (zero 5xx)",
+						w.name, victim, status, err, raw)
+				}
+				if ring.Owner(w.name) == victim && hdr.Get("X-Copydetect-Replica") != "true" {
+					t.Errorf("failover read of %q not marked X-Copydetect-Replica", w.name)
+				}
+			}
+			// Quiesce everything while the victim is still down (also a
+			// zero-5xx path) so every replica has a published round before
+			// anti-entropy exports its state.
+			for _, w := range ws {
+				status, raw, err := httpDo(httpClient, http.MethodPost,
+					gate.base+"/v1/datasets/"+w.name+"/quiesce", nil)
+				if err != nil || status != http.StatusOK {
+					t.Errorf("quiesce of %q with backend %d dead: status=%d err=%v body=%s, want 200",
+						w.name, victim, status, err, raw)
 				}
 			}
 			// The gateway notices: /healthz degrades once probes eject the
 			// dead backend, and the dataset list marks itself partial.
-			deadline := time.Now().Add(10 * time.Second)
-			for {
-				status, raw, err := httpDo(httpClient, http.MethodGet, gate.base+"/healthz", nil)
-				if err != nil || status != http.StatusOK {
-					t.Fatalf("healthz: status=%d err=%v", status, err)
-				}
-				var hz struct {
-					Status   string                  `json:"status"`
-					Backends []cluster.BackendStatus `json:"backends"`
-				}
-				if err := json.Unmarshal(raw, &hz); err != nil {
-					t.Fatalf("healthz body %q: %v", raw, err)
-				}
-				if hz.Status == "degraded" && !hz.Backends[victim].Healthy {
-					break
-				}
-				if time.Now().After(deadline) {
-					t.Fatalf("gateway never ejected dead backend %d: %s", victim, raw)
-				}
-				time.Sleep(20 * time.Millisecond)
-			}
+			waitHealthz(t, httpClient, gate.base, 10*time.Second, func(hz healthzView) bool {
+				return hz.Status == "degraded" && !hz.Backends[victim].Healthy
+			}, "ejection of the dead backend")
 			status, raw, err := httpDo(httpClient, http.MethodGet, gate.base+"/v1/datasets", nil)
 			if err != nil || status != http.StatusOK {
 				t.Fatalf("degraded list: status=%d err=%v", status, err)
@@ -463,6 +494,105 @@ func TestClusterEquivalence(t *testing.T) {
 			if err := json.Unmarshal(raw, &lr); err != nil || !lr.Partial {
 				t.Errorf("list with a dead backend: partial=%v err=%v body=%s", lr.Partial, err, raw)
 			}
+
+			// Readmission: restart the victim on its old address (fresh
+			// in-memory process — everything it knew is gone) and wait for
+			// probes to readmit it and anti-entropy to catch it back up.
+			t.Logf("restarting backend %d on %s", victim, victimAddr)
+			daemons[victim] = startDaemonAt(t, fmt.Sprintf("copydetectd-w%d-%d-restarted", workers, victim),
+				victimAddr, "-workers", fmt.Sprint(workers))
+			waitHealthz(t, httpClient, gate.base, 30*time.Second, func(hz healthzView) bool {
+				if hz.Status != "ok" {
+					return false
+				}
+				for _, b := range hz.Backends {
+					if b.StaleDatasets != 0 {
+						return false
+					}
+				}
+				return true
+			}, "readmission and anti-entropy catch-up")
+
+			// The reference daemon receives the same late waves; both sides
+			// quiesce, and the final wire responses must agree again —
+			// served by the recovered backend itself, not its replica.
+			for _, w := range ws {
+				rc := &wireClient{t: t, http: httpClient, base: ref.URL, name: w.name}
+				rc.must(http.MethodPost, "/observations", appendBody{Observations: extra1}, http.StatusAccepted)
+				rc.must(http.MethodPost, "/observations", appendBody{Observations: extra2}, http.StatusAccepted)
+				rc.must(http.MethodPost, "/quiesce", nil, http.StatusOK)
+			}
+			for _, w := range ws {
+				rc := &wireClient{t: t, http: httpClient, base: ref.URL, name: w.name}
+				gc := &wireClient{t: t, http: httpClient, base: gate.base, name: w.name}
+				gc.must(http.MethodPost, "/quiesce", nil, http.StatusOK)
+				got, wantViews := gc.published(), rc.published()
+				if !reflect.DeepEqual(got, wantViews) {
+					t.Errorf("dataset %q after kill+readmission diverges from the single daemon:\n got  %v\n want %v",
+						w.name, got, wantViews)
+				}
+				if algo, _ := got["/copies"]["algorithm"].(string); algo != "INCREMENTAL" {
+					t.Errorf("dataset %q after readmission ran %q, want INCREMENTAL (rounds counter must survive anti-entropy)", w.name, algo)
+				}
+			}
+			// And the recovered process itself holds its datasets again: a
+			// read through the gateway is served without the replica marker,
+			// and the daemon answers directly with the full stream.
+			for _, w := range ws {
+				if ring.Owner(w.name) != victim {
+					continue
+				}
+				status, hdr, raw, err := httpDoHdr(httpClient, http.MethodGet,
+					gate.base+"/v1/datasets/"+w.name, nil)
+				if err != nil || status != http.StatusOK {
+					t.Errorf("read of %q after readmission: status=%d err=%v body=%s", w.name, status, err, raw)
+				}
+				if hdr.Get("X-Copydetect-Replica") != "" {
+					t.Errorf("read of %q still served by the replica after anti-entropy", w.name)
+				}
+				wantVersion := uint64(len(w.batches) + 3) // batches + truth + two extra waves
+				status, raw, err = httpDo(httpClient, http.MethodGet, urls[victim]+"/v1/datasets/"+w.name, nil)
+				if err != nil || status != http.StatusOK {
+					t.Errorf("direct read of %q from restarted backend: status=%d err=%v body=%s", w.name, status, err, raw)
+					continue
+				}
+				var inf struct {
+					Version uint64 `json:"version"`
+				}
+				if err := json.Unmarshal(raw, &inf); err != nil || inf.Version != wantVersion {
+					t.Errorf("restarted backend holds %q at version %d (err %v), want %d", w.name, inf.Version, err, wantVersion)
+				}
+			}
 		})
 	}
+}
+
+// healthzView is the subset of the gateway /healthz body the test
+// inspects.
+type healthzView struct {
+	Status   string                  `json:"status"`
+	Backends []cluster.BackendStatus `json:"backends"`
+}
+
+// waitHealthz polls the gateway's /healthz until cond holds.
+func waitHealthz(t *testing.T, client *http.Client, base string, timeout time.Duration, cond func(healthzView) bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	var last []byte
+	for time.Now().Before(deadline) {
+		status, raw, err := httpDo(client, http.MethodGet, base+"/healthz", nil)
+		if err != nil || status != http.StatusOK {
+			t.Fatalf("healthz: status=%d err=%v", status, err)
+		}
+		last = raw
+		var hz healthzView
+		if err := json.Unmarshal(raw, &hz); err != nil {
+			t.Fatalf("healthz body %q: %v", raw, err)
+		}
+		if cond(hz) {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("gateway never reached %s: %s", what, last)
 }

@@ -1,25 +1,34 @@
 // Command copygate is the cluster front end for copydetectd: a
 // consistent-hash gateway that owns the dataset namespace across N
 // backend daemons. Every dataset-scoped request (create, append, read,
-// quiesce, delete) is routed to the one backend that owns the dataset
-// name on the hash ring and proxied byte-for-byte — ETags included, so
-// clients written against a single daemon work unchanged. The dataset
-// list fans out to every backend and merges; /healthz reports the
-// gateway's view of backend health.
+// quiesce, delete) is routed to the dataset's replica set on the hash
+// ring and proxied byte-for-byte — ETags included, so clients written
+// against a single daemon work unchanged. The dataset list fans out to
+// every backend and merges; /healthz reports the gateway's view of
+// backend health.
 //
 // Usage:
 //
 //	copygate -backends http://h1:8377,http://h2:8377,http://h3:8377
-//	         [-addr :8378] [-addr-file FILE]
+//	         [-addr :8378] [-addr-file FILE] [-replicas 2]
 //	         [-probe-every 1s] [-probe-timeout 500ms] [-retries 2]
 //
+// With -replicas R (default 2) every dataset lives on the first R
+// distinct backends walking the ring from its name: writes are
+// acknowledged by the acting primary and mirrored to the other members
+// with sequence numbers (so duplicated deliveries land exactly once),
+// reads fail over transparently — marked X-Copydetect-Replica — and a
+// recovered backend is caught back up by anti-entropy before serving
+// again. Killing any single backend therefore loses no dataset;
+// -replicas 1 restores the PR 4 behavior, where a dead backend 503s
+// exactly its own datasets.
+//
 // Backends are probed every -probe-every; a backend that fails twice in
-// a row is ejected (its datasets answer 503 until it returns — data is
-// never rerouted, because only the owner has it) and readmitted after
-// two consecutive successful probes. Idempotent GETs are retried up to
-// -retries times on transport failures. The -backends list and its
-// order are the routing table: every gateway over one cluster must use
-// the same list. See internal/cluster for the design.
+// a row is ejected and readmitted after two consecutive successful
+// probes. Idempotent GETs are retried up to -retries times on transport
+// failures. The -backends list and its order are the routing table:
+// every gateway over one cluster must use the same list. See
+// internal/cluster for the design.
 package main
 
 import (
@@ -55,6 +64,7 @@ func parseFlags(args []string) (options, error) {
 	probeEvery := fs.Duration("probe-every", time.Second, "health-check period per backend")
 	probeTimeout := fs.Duration("probe-timeout", 0, "timeout of one health probe (0 = half of -probe-every)")
 	retries := fs.Int("retries", 2, "transport-failure retries for idempotent GETs (0 = none)")
+	replicas := fs.Int("replicas", 2, "backends holding each dataset (1 = no replication; clamped to the backend count)")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
 	}
@@ -78,10 +88,14 @@ func parseFlags(args []string) (options, error) {
 	if *probeTimeout < 0 {
 		return options{}, fmt.Errorf("copygate: -probe-timeout must be >= 0 (0 = half of -probe-every)")
 	}
+	if *replicas < 1 {
+		return options{}, fmt.Errorf("copygate: -replicas must be at least 1")
+	}
 	opt := options{addr: *addr, addrFile: *addrFile}
 	opt.cfg.Backends = urls
 	opt.cfg.ProbeEvery = *probeEvery
 	opt.cfg.ProbeTimeout = *probeTimeout
+	opt.cfg.Replication = *replicas
 	// The flag means what it says: 0 retries is 0 retries. Config uses
 	// its zero value for "default", so map 0 to the explicit "none".
 	opt.cfg.Retries = *retries
@@ -134,8 +148,8 @@ func run(args []string) int {
 	if retries < 0 {
 		retries = 0 // the config's explicit "disabled"; log what the operator asked for
 	}
-	log.Printf("copygate: listening on %s, routing %d backends (probe every %v, retries %d)",
-		ln.Addr(), len(opt.cfg.Backends), opt.cfg.ProbeEvery, retries)
+	log.Printf("copygate: listening on %s, routing %d backends (replicas %d, probe every %v, retries %d)",
+		ln.Addr(), len(opt.cfg.Backends), opt.cfg.Replication, opt.cfg.ProbeEvery, retries)
 	for i, b := range opt.cfg.Backends {
 		log.Printf("copygate: backend %d: %s", i, b)
 	}

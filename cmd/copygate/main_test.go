@@ -21,6 +21,14 @@ func TestParseFlags(t *testing.T) {
 	if opt.cfg.ProbeEvery != time.Second || opt.cfg.ProbeTimeout != 0 || opt.cfg.Retries != 2 {
 		t.Fatalf("probe defaults = %+v", opt.cfg)
 	}
+	if opt.cfg.Replication != 2 {
+		t.Fatalf("default -replicas: cfg.Replication = %d, want 2", opt.cfg.Replication)
+	}
+
+	opt, err = parseFlags([]string{"-backends", "http://a:1,http://b:2", "-replicas", "1"})
+	if err != nil || opt.cfg.Replication != 1 {
+		t.Fatalf("-replicas 1: cfg.Replication = %d (err %v), want 1", opt.cfg.Replication, err)
+	}
 
 	opt, err = parseFlags([]string{
 		"-addr", "127.0.0.1:9100", "-addr-file", "/tmp/gate.addr",
@@ -53,6 +61,7 @@ func TestParseFlags(t *testing.T) {
 		{"-backends", "not-a-url"}, // scheme missing
 		{"-backends", "http://a:1", "-probe-every", "-1s"},
 		{"-backends", "http://a:1", "-probe-timeout", "-1s"},
+		{"-backends", "http://a:1", "-replicas", "0"},
 		{"-nonsense"},
 	} {
 		if _, err := parseFlags(bad); err == nil {

@@ -27,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"os"
 	"sort"
@@ -123,12 +124,15 @@ func splitBatches(recs []dataset.Record, size int) [][]dataset.Record {
 }
 
 // percentile returns the q-quantile (0 < q <= 1) of sorted by the
-// nearest-rank method; zero for an empty slice.
+// nearest-rank method; zero for an empty slice. The rank is clamped
+// into the sample: floating-point rounding can push ceil(q*n) a hair
+// past n (and a tiny q below 1), and a p99 over a small sample must
+// select the largest value, never index out of range.
 func percentile(sorted []time.Duration, q float64) time.Duration {
 	if len(sorted) == 0 {
 		return 0
 	}
-	i := int(q*float64(len(sorted))+0.999999) - 1
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
 	if i < 0 {
 		i = 0
 	}
@@ -147,9 +151,13 @@ type latencyStats struct {
 	MeanMillis float64 `json:"meanMillis"`
 }
 
-func summarize(samples []time.Duration) latencyStats {
+// summarize reduces a latency sample to percentiles, or nil for an
+// empty sample: a run with zero successful appends has no latency
+// distribution, and reporting one (zeros, or worse, NaN from a 0/0)
+// would poison the machine-readable trajectory records.
+func summarize(samples []time.Duration) *latencyStats {
 	if len(samples) == 0 {
-		return latencyStats{}
+		return nil
 	}
 	sorted := append([]time.Duration(nil), samples...)
 	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
@@ -158,7 +166,7 @@ func summarize(samples []time.Duration) latencyStats {
 		sum += d
 	}
 	ms := func(d time.Duration) float64 { return d.Seconds() * 1e3 }
-	return latencyStats{
+	return &latencyStats{
 		P50Millis:  ms(percentile(sorted, 0.50)),
 		P90Millis:  ms(percentile(sorted, 0.90)),
 		P99Millis:  ms(percentile(sorted, 0.99)),
@@ -169,20 +177,24 @@ func summarize(samples []time.Duration) latencyStats {
 
 // report is the machine-readable run summary (-json).
 type report struct {
-	Target         string       `json:"target"`
-	Preset         string       `json:"preset"`
-	Scale          float64      `json:"scale"`
-	Datasets       int          `json:"datasets"`
-	Clients        int          `json:"clients"`
-	TargetRate     float64      `json:"targetRate,omitempty"`
-	Appends        int          `json:"appends"`
-	Observations   int          `json:"observations"`
-	Errors         int          `json:"errors"`
-	WallSeconds    float64      `json:"wallSeconds"`
-	AppendsPerSec  float64      `json:"appendsPerSec"`
-	ObsPerSec      float64      `json:"obsPerSec"`
-	AppendLatency  latencyStats `json:"appendLatency"`
-	QuiesceSeconds float64      `json:"quiesceSeconds,omitempty"`
+	Target        string  `json:"target"`
+	Preset        string  `json:"preset"`
+	Scale         float64 `json:"scale"`
+	Datasets      int     `json:"datasets"`
+	Clients       int     `json:"clients"`
+	TargetRate    float64 `json:"targetRate,omitempty"`
+	Appends       int     `json:"appends"`
+	Observations  int     `json:"observations"`
+	Errors        int     `json:"errors"`
+	WallSeconds   float64 `json:"wallSeconds"`
+	AppendsPerSec float64 `json:"appendsPerSec"`
+	ObsPerSec     float64 `json:"obsPerSec"`
+	// AppendLatency summarizes the latencies of *successful* appends
+	// only; it is omitted entirely when the run had none, so consumers
+	// never see fabricated percentiles (and the output stays valid
+	// JSON — NaN is not).
+	AppendLatency  *latencyStats `json:"appendLatency,omitempty"`
+	QuiesceSeconds float64       `json:"quiesceSeconds,omitempty"`
 }
 
 // streamTask is one dataset's pending work, owned by one client.
@@ -288,15 +300,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 					t0 := time.Now()
 					status, _, err := doJSON(httpClient, http.MethodPost,
 						base+task.name+"/observations", appendRequest{Observations: batch})
-					res.latencies = append(res.latencies, time.Since(t0))
 					if err != nil || status != http.StatusAccepted {
 						// A failed append breaks the dataset's sequential
 						// stream; abandon its remaining batches rather than
 						// appending around a hole. The run exits nonzero.
+						// Its duration is not a latency sample — a refusal
+						// or timeout measures the failure, not the service.
 						res.errors++
 						next[s] = len(task.batches)
 						continue
 					}
+					res.latencies = append(res.latencies, time.Since(t0))
 					res.appends++
 					res.obs += len(batch)
 				}
@@ -368,9 +382,12 @@ func printReport(w io.Writer, rep report) {
 	fmt.Fprintln(w)
 	fmt.Fprintf(w, "  %d appends (%d observations) in %.2fs — %.1f appends/s, %.0f obs/s, %d errors\n",
 		rep.Appends, rep.Observations, rep.WallSeconds, rep.AppendsPerSec, rep.ObsPerSec, rep.Errors)
-	l := rep.AppendLatency
-	fmt.Fprintf(w, "  append latency ms: p50 %.2f  p90 %.2f  p99 %.2f  max %.2f  mean %.2f\n",
-		l.P50Millis, l.P90Millis, l.P99Millis, l.MaxMillis, l.MeanMillis)
+	if l := rep.AppendLatency; l != nil {
+		fmt.Fprintf(w, "  append latency ms: p50 %.2f  p90 %.2f  p99 %.2f  max %.2f  mean %.2f\n",
+			l.P50Millis, l.P90Millis, l.P99Millis, l.MaxMillis, l.MeanMillis)
+	} else {
+		fmt.Fprintln(w, "  append latency: no successful appends")
+	}
 	if rep.QuiesceSeconds > 0 {
 		fmt.Fprintf(w, "  quiesce to convergence: %.2fs\n", rep.QuiesceSeconds)
 	}

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -78,34 +79,159 @@ func lens(b [][]dataset.Record) []int {
 	return out
 }
 
-func TestPercentileAndSummarize(t *testing.T) {
-	if percentile(nil, 0.5) != 0 {
-		t.Error("percentile of empty sample not 0")
-	}
-	sorted := []time.Duration{
-		1 * time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond,
-		4 * time.Millisecond, 100 * time.Millisecond,
+// TestPercentile is table-driven over the sample sizes that historically
+// go wrong: empty, single-element, and sub-100 samples where a naive
+// p99 rank (ceil(0.99*n)) must clamp to the largest value instead of
+// indexing out of range.
+func TestPercentile(t *testing.T) {
+	ms := func(ns ...int) []time.Duration {
+		out := make([]time.Duration, len(ns))
+		for i, n := range ns {
+			out[i] = time.Duration(n) * time.Millisecond
+		}
+		return out
 	}
 	for _, tc := range []struct {
-		q    float64
-		want time.Duration
+		name   string
+		sorted []time.Duration
+		q      float64
+		want   time.Duration
 	}{
-		{0.50, 3 * time.Millisecond},
-		{0.90, 100 * time.Millisecond},
-		{0.99, 100 * time.Millisecond},
-		{0.20, 1 * time.Millisecond},
-		{1.00, 100 * time.Millisecond},
+		{"empty", nil, 0.99, 0},
+		{"single-p50", ms(7), 0.50, 7 * time.Millisecond},
+		{"single-p99", ms(7), 0.99, 7 * time.Millisecond},
+		{"single-p100", ms(7), 1.00, 7 * time.Millisecond},
+		{"two-p99-clamps-to-max", ms(1, 9), 0.99, 9 * time.Millisecond},
+		{"two-p50", ms(1, 9), 0.50, 1 * time.Millisecond},
+		{"five-p50", ms(1, 2, 3, 4, 100), 0.50, 3 * time.Millisecond},
+		{"five-p90", ms(1, 2, 3, 4, 100), 0.90, 100 * time.Millisecond},
+		{"five-p99", ms(1, 2, 3, 4, 100), 0.99, 100 * time.Millisecond},
+		{"five-p20", ms(1, 2, 3, 4, 100), 0.20, 1 * time.Millisecond},
+		{"five-p100", ms(1, 2, 3, 4, 100), 1.00, 100 * time.Millisecond},
+		{"tiny-q-clamps-low", ms(1, 2, 3), 0.0001, 1 * time.Millisecond},
 	} {
-		if got := percentile(sorted, tc.q); got != tc.want {
-			t.Errorf("percentile(%v) = %v, want %v", tc.q, got, tc.want)
+		if got := percentile(tc.sorted, tc.q); got != tc.want {
+			t.Errorf("%s: percentile(q=%v) = %v, want %v", tc.name, tc.q, got, tc.want)
 		}
 	}
+	// Exact-rank boundaries across a range of sizes: the nearest-rank
+	// index must always stay inside the sample.
+	for n := 1; n <= 120; n++ {
+		sample := make([]time.Duration, n)
+		for i := range sample {
+			sample[i] = time.Duration(i+1) * time.Microsecond
+		}
+		for _, q := range []float64{0.01, 0.5, 0.9, 0.99, 0.999, 1.0} {
+			got := percentile(sample, q)
+			if got < sample[0] || got > sample[n-1] {
+				t.Fatalf("n=%d q=%v: percentile %v outside the sample", n, q, got)
+			}
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
 	s := summarize([]time.Duration{2 * time.Millisecond, 1 * time.Millisecond})
-	if s.P50Millis != 1 || s.MaxMillis != 2 || s.MeanMillis != 1.5 {
+	if s == nil || s.P50Millis != 1 || s.MaxMillis != 2 || s.MeanMillis != 1.5 || s.P99Millis != 2 {
 		t.Errorf("summarize = %+v", s)
 	}
-	if z := summarize(nil); z != (latencyStats{}) {
-		t.Errorf("summarize(nil) = %+v", z)
+	// No samples → no summary at all: the report must omit the field
+	// rather than fabricate zeros (or NaN) for the trajectory tooling.
+	if z := summarize(nil); z != nil {
+		t.Errorf("summarize(nil) = %+v, want nil", z)
+	}
+}
+
+// TestZeroSuccessfulAppendsOmitsLatency is the regression test for the
+// empty-sample report: a run where every append fails must produce
+// valid JSON with the appendLatency block omitted — not a zero-filled
+// (or NaN-filled) latency summary measured over failures.
+func TestZeroSuccessfulAppendsOmitsLatency(t *testing.T) {
+	reg := server.NewRegistry(server.Config{Options: core.Options{Workers: 1}})
+	defer reg.Close()
+	inner := server.NewHandler(reg)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/observations") {
+			w.WriteHeader(http.StatusInternalServerError)
+			fmt.Fprintln(w, `{"error":"injected append failure"}`)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-target", srv.URL, "-datasets", "1", "-clients", "1",
+		"-scale", "0.02", "-batch", "100", "-quiesce=false", "-json",
+	}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("run with failing appends exited %d, want 1; stderr:\n%s", code, stderr.String())
+	}
+	if !json.Valid(stdout.Bytes()) {
+		t.Fatalf("report is not valid JSON: %q", stdout.String())
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(stdout.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, present := raw["appendLatency"]; present {
+		t.Errorf("zero-success report still carries appendLatency: %q", stdout.String())
+	}
+	var rep report
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Appends != 0 || rep.Errors == 0 || rep.AppendLatency != nil {
+		t.Errorf("report = %+v, want zero appends, counted errors, nil latency", rep)
+	}
+	// The text renderer handles the empty sample too.
+	var text bytes.Buffer
+	printReport(&text, rep)
+	if !strings.Contains(text.String(), "no successful appends") {
+		t.Errorf("text report does not flag the empty sample:\n%s", text.String())
+	}
+}
+
+// TestFailedAppendLatenciesExcluded: failures must not pollute the
+// latency sample of the successful appends.
+func TestFailedAppendLatenciesExcluded(t *testing.T) {
+	reg := server.NewRegistry(server.Config{Options: core.Options{Workers: 1}})
+	defer reg.Close()
+	inner := server.NewHandler(reg)
+	var obsCalls int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/observations") {
+			if atomic.AddInt32(&obsCalls, 1) > 1 {
+				// Every append after the first fails slowly: its duration
+				// must not appear in the latency percentiles.
+				time.Sleep(150 * time.Millisecond)
+				w.WriteHeader(http.StatusInternalServerError)
+				fmt.Fprintln(w, `{"error":"slow failure"}`)
+				return
+			}
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-target", srv.URL, "-datasets", "1", "-clients", "1",
+		"-scale", "0.02", "-batch", "50", "-quiesce=false", "-json",
+	}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("run exited %d, want 1 (failed appends); stderr:\n%s", code, stderr.String())
+	}
+	var rep report
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Appends != 1 || rep.Errors != 1 || rep.AppendLatency == nil {
+		t.Fatalf("report = %+v, want 1 success, 1 error, a latency summary", rep)
+	}
+	if rep.AppendLatency.MaxMillis >= 150 {
+		t.Errorf("failed append's 150ms latency leaked into the sample: %+v", rep.AppendLatency)
 	}
 }
 
@@ -167,7 +293,7 @@ func TestRunAgainstDaemon(t *testing.T) {
 	if rep.Errors != 0 || rep.Appends == 0 || rep.Observations == 0 {
 		t.Fatalf("report = %+v", rep)
 	}
-	if rep.AppendLatency.MaxMillis <= 0 || rep.WallSeconds <= 0 || rep.QuiesceSeconds <= 0 {
+	if rep.AppendLatency == nil || rep.AppendLatency.MaxMillis <= 0 || rep.WallSeconds <= 0 || rep.QuiesceSeconds <= 0 {
 		t.Fatalf("missing measurements: %+v", rep)
 	}
 	// Everything the generator produced must have been appended.

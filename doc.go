@@ -86,15 +86,20 @@
 // the dataset namespace over N copydetectd backends. Datasets are
 // already independent convergence units, so sharding whole datasets by
 // a pure hash of the name needs no cross-backend coordination; the
-// gateway proxies every dataset-scoped request to the owner
-// byte-for-byte (ETags included — single-daemon clients work
-// unchanged), fans the dataset list out to all backends, health-checks
-// them with ejection and readmission, and answers 503 for exactly the
-// datasets of a dead backend while the rest keep serving. cmd/copyload
-// generates streaming load against a daemon or gateway and reports
-// throughput and latency percentiles. The cluster's acceptance test
-// proves wire-level equivalence between a three-backend gateway and a
-// single direct daemon.
+// gateway proxies every dataset-scoped request byte-for-byte (ETags
+// included — single-daemon clients work unchanged), fans the dataset
+// list out to all backends, and health-checks them with ejection and
+// readmission. With -replicas 2 (the default) every dataset lives on
+// two backends: writes are acknowledged by the acting primary and
+// mirrored to the replica with idempotent sequence numbers, reads fail
+// over transparently (marked X-Copydetect-Replica), and a recovered
+// backend is caught back up by anti-entropy — an export/import state
+// copy from its peer — before serving again, so the loss of any single
+// backend surfaces no errors at all. cmd/copyload generates streaming
+// load against a daemon or gateway and reports throughput and latency
+// percentiles. The cluster's acceptance test proves wire-level
+// equivalence between a three-backend gateway and a single direct
+// daemon, through a mid-stream SIGKILL and readmission.
 //
 // # Quick start
 //

@@ -1,14 +1,17 @@
 package cluster
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"copydetect/internal/server"
@@ -24,6 +27,13 @@ type Config struct {
 	// (<= 0 selects DefaultReplicas). All gateways over one cluster must
 	// agree on it.
 	Replicas int
+	// Replication is how many backends hold each dataset (the replica
+	// set size R). <= 1 (the zero value) keeps each dataset on its ring
+	// owner alone; 2 survives the loss of any single backend: writes
+	// are acknowledged by the acting primary and mirrored to the other
+	// members, reads fail over, and a recovered backend is caught up by
+	// anti-entropy before it serves again. Clamped to the backend count.
+	Replication int
 
 	// ProbeEvery is the health-check period (default 1s); ProbeTimeout
 	// bounds one probe (default half of ProbeEvery, capped at 2s).
@@ -62,6 +72,14 @@ type Gateway struct {
 	ejectAfter   int
 	readmitAfter int
 	retries      int
+	replication  int
+
+	dsMu sync.Mutex
+	ds   map[string]*dsState
+	// staleTotal counts stale (dataset, member) pairs gateway-wide, so
+	// the per-probe reconcile re-arm can skip scanning the dataset map
+	// in the steady state where nothing is stale.
+	staleTotal atomic.Int64
 
 	stop     chan struct{}
 	wg       sync.WaitGroup
@@ -87,7 +105,15 @@ func New(cfg Config) (*Gateway, error) {
 		ejectAfter:   cfg.EjectAfter,
 		readmitAfter: cfg.ReadmitAfter,
 		retries:      cfg.Retries,
+		replication:  cfg.Replication,
+		ds:           make(map[string]*dsState),
 		stop:         make(chan struct{}),
+	}
+	if g.replication < 1 {
+		g.replication = 1
+	}
+	if g.replication > ring.NumBackends() {
+		g.replication = ring.NumBackends()
 	}
 	if g.probeEvery <= 0 {
 		g.probeEvery = time.Second
@@ -126,9 +152,20 @@ func New(cfg Config) (*Gateway, error) {
 	g.client = &http.Client{Transport: cfg.Transport}
 	g.backends = make([]*backend, ring.NumBackends())
 	for i := range g.backends {
-		g.backends[i] = newBackend(ring.Backend(i))
+		g.backends[i] = newBackend(ring.Backend(i), i)
 		g.wg.Add(1)
 		go g.monitor(g.backends[i])
+	}
+	if g.replication > 1 {
+		// Startup audit: the staleness map is in-memory, so a fresh
+		// gateway process inherits no memory of which members a
+		// previous one knew to be behind. Rediscover it from the
+		// backends' own version counters before trusting primaries.
+		g.wg.Add(1)
+		go func() {
+			defer g.wg.Done()
+			g.audit()
+		}()
 	}
 	return g, nil
 }
@@ -153,9 +190,11 @@ func (g *Gateway) Ring() *Ring { return g.ring }
 // Status returns the health of every backend, in ring (configuration)
 // order.
 func (g *Gateway) Status() []BackendStatus {
+	stale := g.staleCounts()
 	out := make([]BackendStatus, len(g.backends))
 	for i, b := range g.backends {
 		out[i] = b.status()
+		out[i].StaleDatasets = stale[i]
 	}
 	return out
 }
@@ -217,72 +256,287 @@ func (g *Gateway) healthz(w http.ResponseWriter) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// proxy forwards a dataset-scoped request to the ring owner of name and
-// relays the response verbatim. Transport failures yield 503 (the
-// dataset's data lives only on its owner — rerouting is impossible);
-// idempotent GETs are retried a bounded number of times first.
+// proxy forwards a dataset-scoped request across the dataset's replica
+// set. Reads (GET/HEAD, and quiesce, which has no effect to duplicate)
+// are served by the acting primary — the first serveable member — with
+// transparent failover to the next member on transport failure, marked
+// with the X-Copydetect-Replica header when a non-primary answered.
+// Writes are buffered, acknowledged by the acting primary and mirrored
+// to the other members asynchronously (replication.go). Only when no
+// member of the replica set can serve does the gateway answer 503.
 func (g *Gateway) proxy(w http.ResponseWriter, req *http.Request, name string) {
-	b := g.backends[g.ring.Owner(name)]
-	if !b.isHealthy() {
-		writeErr(w, http.StatusServiceUnavailable,
-			fmt.Sprintf("cluster: backend %s (owner of dataset %q) is unavailable", b.url, name))
+	isRead := req.Method == http.MethodGet || req.Method == http.MethodHead ||
+		(req.Method == http.MethodPost && strings.HasSuffix(req.URL.Path, "/quiesce"))
+	if isRead {
+		g.serveRead(w, req, name)
 		return
 	}
-	// Only idempotent reads (GET/HEAD) are retried. Their bodies are
-	// dropped rather than buffered: the daemon never reads them, a
-	// resend would otherwise require holding the whole body in gateway
-	// memory, and an unbounded ReadAll would hand that memory decision
-	// to the client. Writes stream straight through — an append is
-	// never retried, so nothing needs buffering there either.
-	attempts := 1
-	stream := true
-	if req.Method == http.MethodGet || req.Method == http.MethodHead {
-		attempts += g.retries
-		stream = false
+	g.serveWrite(w, req, name)
+}
+
+// serveRead proxies an idempotent request with bounded retries that
+// walk the replica set: a transport failure on one member moves on to
+// the next instead of failing the client. Request bodies are dropped
+// rather than buffered (the daemon never reads them on these
+// endpoints), so a retried request never re-reads a consumed body.
+func (g *Gateway) serveRead(w http.ResponseWriter, req *http.Request, name string) {
+	members := g.ring.ReplicaSet(name, g.replication)
+	ds := g.lookupDS(name)
+	if ds != nil && strings.HasSuffix(req.URL.Path, "/quiesce") {
+		// A quiesce answers for the whole dataset: drain the mirrored
+		// appends first, so a quiesce served by a failover replica
+		// covers everything the cluster has acknowledged. A drain that
+		// does not finish must fail the quiesce — answering "converged"
+		// over a stream with mirrors still in flight would be a lie.
+		if !g.flush(ds, true) {
+			writeErr(w, http.StatusServiceUnavailable,
+				fmt.Sprintf("cluster: dataset %q is unavailable: replica mirror queue did not drain", name))
+			return
+		}
 	}
+	attempts := 1 + g.retries
+	if attempts < len(members) {
+		// -retries bounds re-attempts against a flaky transport; it
+		// must not disable replica failover. Every member of the set
+		// gets at least one shot.
+		attempts = len(members)
+	}
+	reported := make([]bool, len(members))
 	var lastErr error
+	pos := -1
 	for attempt := 0; attempt < attempts; attempt++ {
-		if attempt > 0 {
-			if req.Context().Err() != nil || !b.isHealthy() {
-				break // client gone, or probes ejected the backend meanwhile
+		if attempt > 0 && req.Context().Err() != nil {
+			break // client gone; stop burning attempts
+		}
+		next := -1
+		for i := 0; i < len(members); i++ {
+			cand := (pos + 1 + i) % len(members)
+			if g.serveable(ds, members, cand) {
+				next = cand
+				break
 			}
 		}
-		var rd io.Reader
-		if stream {
-			rd = req.Body
+		if next == -1 {
+			break
 		}
+		pos = next
+		b := g.backends[members[pos]]
 		out, err := http.NewRequestWithContext(req.Context(), req.Method,
-			b.url+req.URL.RequestURI(), rd)
+			b.url+req.URL.RequestURI(), nil)
 		if err != nil {
 			writeErr(w, http.StatusInternalServerError, fmt.Sprintf("cluster: %v", err))
 			return
-		}
-		if stream {
-			// Streamed pass-through: preserve the client's Content-Length
-			// instead of degrading to chunked encoding.
-			out.ContentLength = req.ContentLength
 		}
 		copyHeader(out.Header, req.Header)
 		resp, err := g.client.Do(out)
 		if err != nil {
 			lastErr = err
+			// One logical request counts at most one failure against a
+			// backend, however many retry attempts it burned — otherwise
+			// a single retried GET could run through the whole ejection
+			// budget and defeat the hysteresis. And a transport failure
+			// indicts the backend only if the *client* didn't hang up
+			// first: impatient clients must never eject a healthy one.
+			if !reported[pos] && req.Context().Err() == nil {
+				reported[pos] = true
+				b.reportFailure(g.ejectAfter, err)
+			}
 			continue
 		}
 		b.reportSuccess(g.readmitAfter, false)
+		if pos != 0 {
+			w.Header().Set(server.ReplicaHeader, "true")
+		}
 		relay(w, resp)
 		return
 	}
-	// One logical request counts at most one failure against the
-	// backend, however many retry attempts it burned — otherwise a
-	// single retried GET could run through the whole ejection budget
-	// and defeat the hysteresis. And a transport failure indicts the
-	// backend only if the *client* didn't hang up first: impatient
-	// clients must never eject a healthy backend.
-	if lastErr != nil && req.Context().Err() == nil {
-		b.reportFailure(g.ejectAfter, lastErr)
+	writeErr(w, http.StatusServiceUnavailable,
+		fmt.Sprintf("cluster: dataset %q is unavailable: no member of its replica set can serve (last error: %v)", name, lastErr))
+}
+
+// serveWrite buffers the request body (it must be re-sendable to every
+// member of the replica set), sends the write to the acting primary,
+// relays its response, and mirrors an acknowledged write to the other
+// members. On a transport failure the write fails over to the next
+// member — never back to the same backend, whose partially streamed
+// request may or may not have been applied: re-sending there could
+// apply the batch twice, while the next member dedupes by sequence
+// number even if the failed member turns out to have applied it
+// (anti-entropy overwrites the failed member from its peer before it
+// serves again). With replication 1 nothing is ever mirrored or
+// re-sent, so the body streams straight through, unbuffered, exactly
+// as before replication existed.
+func (g *Gateway) serveWrite(w http.ResponseWriter, req *http.Request, name string) {
+	members := g.ring.ReplicaSet(name, g.replication)
+	if g.replication < 2 {
+		g.writeSingle(w, req, name, members[0])
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(req.Body, maxWriteBody+1))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Sprintf("cluster: reading request body: %v", err))
+		return
+	}
+	if len(body) > maxWriteBody {
+		writeErr(w, http.StatusRequestEntityTooLarge, "cluster: write body exceeds the size limit")
+		return
+	}
+	ds := g.datasetState(name)
+	ds.mu.Lock()
+	for ds.retired {
+		// The idle worker retired this state between our map lookup
+		// and the lock; fetch the fresh entry.
+		ds.mu.Unlock()
+		ds = g.datasetState(name)
+		ds.mu.Lock()
+	}
+	defer ds.mu.Unlock()
+	var lastErr error
+	failedOver := false
+	for pos := range members {
+		if !g.serveable(ds, members, pos) {
+			continue
+		}
+		if req.Context().Err() != nil {
+			break
+		}
+		if failedOver || (ds.lastActing >= 0 && ds.lastActing != pos) {
+			// The acting member changed — failover within this request,
+			// or the primary coming back after a failover. The mirror
+			// queue may still hold sequenced writes for the new acting
+			// member; they must land before a direct (unsequenced) write
+			// can be sent there, or the direct write would take their
+			// sequence number and fork the members' histories.
+			if !g.flush(ds, false) {
+				break
+			}
+		}
+		// A gateway-side ceiling on the attempt: ds.mu serializes this
+		// dataset's writes, so a backend that accepts the connection but
+		// never answers must not wedge the dataset forever. A timeout is
+		// NOT failed over (the write's fate on a merely-slow member is
+		// unknown, and unlike a dead one it may still apply the batch);
+		// it answers 503, the same contract an unreplicated write always
+		// had for an unresponsive owner.
+		ctx, cancel := context.WithTimeout(req.Context(), writeTimeout)
+		b := g.backends[members[pos]]
+		out, err := http.NewRequestWithContext(ctx, req.Method,
+			b.url+req.URL.RequestURI(), bytes.NewReader(body))
+		if err != nil {
+			cancel()
+			writeErr(w, http.StatusInternalServerError, fmt.Sprintf("cluster: %v", err))
+			return
+		}
+		copyHeader(out.Header, req.Header)
+		out.ContentLength = int64(len(body))
+		resp, err := g.client.Do(out)
+		if err != nil {
+			// DeadlineExceeded is sticky on the context, so it still
+			// distinguishes our write ceiling from an ordinary transport
+			// failure after the cancel below releases the timer.
+			timedOut := errors.Is(ctx.Err(), context.DeadlineExceeded)
+			cancel()
+			lastErr = err
+			if req.Context().Err() != nil {
+				break // the client hung up; stop entirely
+			}
+			b.reportFailure(g.ejectAfter, err)
+			if timedOut {
+				break // gateway timeout: slow, not dead — no failover
+			}
+			failedOver = true
+			continue
+		}
+		b.reportSuccess(g.readmitAfter, false)
+		raw, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		timedOut := errors.Is(ctx.Err(), context.DeadlineExceeded)
+		cancel()
+		if rerr != nil {
+			// The member died mid-response: the write's fate there is
+			// unknown, exactly like a transport failure before headers.
+			lastErr = rerr
+			if req.Context().Err() != nil {
+				break
+			}
+			b.reportFailure(g.ejectAfter, rerr)
+			if timedOut {
+				break
+			}
+			failedOver = true
+			continue
+		}
+		ds.lastActing = pos
+		g.afterWrite(ds, req, pos, resp.StatusCode, raw, body)
+		if pos != 0 {
+			w.Header().Set(server.ReplicaHeader, "true")
+		}
+		relayBytes(w, resp, raw)
+		return
 	}
 	writeErr(w, http.StatusServiceUnavailable,
-		fmt.Sprintf("cluster: backend %s (owner of dataset %q) is unavailable: %v", b.url, name, lastErr))
+		fmt.Sprintf("cluster: dataset %q is unavailable: no member of its replica set can accept the write (last error: %v)", name, lastErr))
+}
+
+// writeSingle is the unreplicated write path: one streamed attempt
+// against the single member, byte-for-byte, no buffering, no retry —
+// the original gateway behavior.
+func (g *Gateway) writeSingle(w http.ResponseWriter, req *http.Request, name string, member int) {
+	b := g.backends[member]
+	if !b.isHealthy() {
+		writeErr(w, http.StatusServiceUnavailable,
+			fmt.Sprintf("cluster: backend %s (owner of dataset %q) is unavailable", b.url, name))
+		return
+	}
+	out, err := http.NewRequestWithContext(req.Context(), req.Method,
+		b.url+req.URL.RequestURI(), req.Body)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, fmt.Sprintf("cluster: %v", err))
+		return
+	}
+	// Streamed pass-through: preserve the client's Content-Length
+	// instead of degrading to chunked encoding.
+	out.ContentLength = req.ContentLength
+	copyHeader(out.Header, req.Header)
+	resp, err := g.client.Do(out)
+	if err != nil {
+		if req.Context().Err() == nil {
+			b.reportFailure(g.ejectAfter, err)
+		}
+		writeErr(w, http.StatusServiceUnavailable,
+			fmt.Sprintf("cluster: backend %s (owner of dataset %q) is unavailable: %v", b.url, name, err))
+		return
+	}
+	b.reportSuccess(g.readmitAfter, false)
+	relay(w, resp)
+}
+
+// doBounded performs req with its own timeout, independent of any
+// client context — used by replication jobs, which belong to the
+// gateway, not to a client request.
+func (g *Gateway) doBounded(req *http.Request, timeout time.Duration) (*http.Response, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	resp, err := g.client.Do(req.WithContext(ctx))
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	resp.Body = &cancelReadCloser{rc: resp.Body, cancel: cancel}
+	return resp, nil
+}
+
+// cancelReadCloser releases a request's timeout context when its body
+// is closed.
+type cancelReadCloser struct {
+	rc     io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (c *cancelReadCloser) Read(p []byte) (int, error) { return c.rc.Read(p) }
+func (c *cancelReadCloser) Close() error {
+	err := c.rc.Close()
+	c.cancel()
+	return err
 }
 
 // list fans GET /v1/datasets out to every backend concurrently and
@@ -334,12 +588,33 @@ func (g *Gateway) list(w http.ResponseWriter, req *http.Request) {
 	}
 	wg.Wait()
 	merged := listResponse{Datasets: []server.Info{}}
-	for _, r := range results {
+	// With replication every dataset lives on R backends, so the merge
+	// dedupes by name, keeping the info reported by the highest-priority
+	// member of the name's replica set that answered — the acting
+	// primary's numbers when it is up, a replica's during failover.
+	rank := make(map[string]int)
+	byName := make(map[string]server.Info)
+	for i, r := range results {
 		if !r.ok {
 			merged.Partial = true
 			continue
 		}
-		merged.Datasets = append(merged.Datasets, r.infos...)
+		for _, inf := range r.infos {
+			pos := len(g.backends)
+			for p, m := range g.ring.ReplicaSet(inf.Name, g.replication) {
+				if m == i {
+					pos = p
+					break
+				}
+			}
+			if prev, seen := rank[inf.Name]; !seen || pos < prev {
+				rank[inf.Name] = pos
+				byName[inf.Name] = inf
+			}
+		}
+	}
+	for _, inf := range byName {
+		merged.Datasets = append(merged.Datasets, inf)
 	}
 	sort.Slice(merged.Datasets, func(a, b int) bool {
 		return merged.Datasets[a].Name < merged.Datasets[b].Name
@@ -354,6 +629,14 @@ func relay(w http.ResponseWriter, resp *http.Response) {
 	copyHeader(w.Header(), resp.Header)
 	w.WriteHeader(resp.StatusCode)
 	_, _ = io.Copy(w, resp.Body)
+}
+
+// relayBytes relays a response whose body the gateway already consumed
+// (the write path reads it to learn the acknowledged version).
+func relayBytes(w http.ResponseWriter, resp *http.Response, body []byte) {
+	copyHeader(w.Header(), resp.Header)
+	w.WriteHeader(resp.StatusCode)
+	_, _ = w.Write(body)
 }
 
 // hopByHop are the connection-scoped headers a proxy must not forward

@@ -20,6 +20,10 @@ type BackendStatus struct {
 	ConsecutiveFailures  int    `json:"consecutiveFailures,omitempty"`
 	ConsecutiveSuccesses int    `json:"consecutiveSuccesses,omitempty"`
 	LastError            string `json:"lastError,omitempty"`
+	// StaleDatasets counts datasets this backend is known to be behind
+	// on (replication lag awaiting anti-entropy); such datasets are not
+	// served from this backend even while it is healthy.
+	StaleDatasets int `json:"staleDatasets,omitempty"`
 }
 
 // backend tracks one copydetectd replica's health. The state machine
@@ -37,6 +41,7 @@ type BackendStatus struct {
 // back.
 type backend struct {
 	url string // base URL, no trailing slash
+	idx int    // position in the gateway's backend list
 
 	mu      sync.Mutex
 	healthy bool
@@ -45,11 +50,11 @@ type backend struct {
 	lastErr string
 }
 
-func newBackend(url string) *backend {
+func newBackend(url string, idx int) *backend {
 	// Backends start healthy: the gateway is useful immediately, and a
 	// dead backend is ejected within ejectAfter probe periods (or on
 	// the first failed requests).
-	return &backend{url: url, healthy: true}
+	return &backend{url: url, idx: idx, healthy: true}
 }
 
 func (b *backend) isHealthy() bool {
@@ -58,23 +63,28 @@ func (b *backend) isHealthy() bool {
 	return b.healthy
 }
 
-// reportSuccess records a successful probe or proxied request.
-func (b *backend) reportSuccess(readmitAfter int, probe bool) {
+// reportSuccess records a successful probe or proxied request. It
+// reports whether this success readmitted the backend (the
+// ejected→healthy transition), which is the gateway's cue to audit
+// what the backend missed while it was away.
+func (b *backend) reportSuccess(readmitAfter int, probe bool) (readmitted bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.fails = 0
 	b.lastErr = ""
 	if b.healthy {
-		return
+		return false
 	}
 	if !probe {
-		return // proxy requests are never sent while ejected; ignore stragglers
+		return false // proxy requests are never sent while ejected; ignore stragglers
 	}
 	b.oks++
 	if b.oks >= readmitAfter {
 		b.healthy = true
 		b.oks = 0
+		return true
 	}
+	return false
 }
 
 // reportFailure records a failed probe or proxied request.
@@ -140,5 +150,24 @@ func (g *Gateway) probe(b *backend) {
 		b.reportFailure(g.ejectAfter, fmt.Errorf("cluster: probe status %d", resp.StatusCode))
 		return
 	}
-	b.reportSuccess(g.readmitAfter, true)
+	if b.reportSuccess(g.readmitAfter, true) {
+		// Readmission: beyond the datasets this gateway already knows
+		// are behind, audit the whole replica-set picture — the backend
+		// may have lost its disk, or the staleness may have accrued
+		// under a previous gateway process.
+		g.wg.Add(1)
+		go func() {
+			defer g.wg.Done()
+			g.audit()
+		}()
+	}
+	if b.isHealthy() && g.staleTotal.Load() > 0 {
+		// A healthy probe is the anti-entropy heartbeat: it re-arms the
+		// catch-up of any dataset this backend is behind on — in
+		// particular right after readmission, when the backend rejoins
+		// with whatever it missed while it was down. The aggregate
+		// counter keeps the steady state (nothing stale anywhere) from
+		// scanning the dataset map on every probe.
+		g.triggerReconciles(b.idx)
+	}
 }

@@ -108,6 +108,34 @@ func (r *Ring) Owner(name string) int {
 	return r.points[i].backend
 }
 
+// ReplicaSet returns the indexes of the first r distinct backends
+// walking the ring clockwise from the dataset name's hash — the
+// dataset's replica set. The first element is always Owner(name) (the
+// primary); the rest are the failover replicas, in ring order. Like
+// Owner, the result is a pure function of the name and the configured
+// backend list, so every gateway derives the same membership with no
+// coordination. r is clamped to [1, NumBackends].
+func (r *Ring) ReplicaSet(name string, n int) []int {
+	if n < 1 {
+		n = 1
+	}
+	if n > len(r.backends) {
+		n = len(r.backends)
+	}
+	h := hash64(name)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	members := make([]int, 0, n)
+	seen := make([]bool, len(r.backends))
+	for walked := 0; walked < len(r.points) && len(members) < n; walked++ {
+		p := r.points[(start+walked)%len(r.points)]
+		if !seen[p.backend] {
+			seen[p.backend] = true
+			members = append(members, p.backend)
+		}
+	}
+	return members
+}
+
 // hash64 is FNV-1a followed by a splitmix64 finalizer. FNV alone is
 // stable but mixes the short, near-identical strings we hash (dataset
 // names, "url#replica" virtual nodes) poorly enough to skew the ring;

@@ -95,3 +95,74 @@ func TestRingAccessors(t *testing.T) {
 		t.Errorf("accessors: n=%d b0=%q b1=%q", r.NumBackends(), r.Backend(0), r.Backend(1))
 	}
 }
+
+func TestReplicaSet(t *testing.T) {
+	backends := []string{"http://a:1", "http://b:2", "http://c:3", "http://d:4"}
+	r, err := NewRing(backends, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"alpha", "beta", "gamma", "delta", "ds-0", "ds-1", "ds-2", "load-17"}
+	for _, name := range names {
+		for n := 1; n <= len(backends)+2; n++ {
+			set := r.ReplicaSet(name, n)
+			want := n
+			if want > len(backends) {
+				want = len(backends) // clamped
+			}
+			if len(set) != want {
+				t.Fatalf("ReplicaSet(%q, %d) has %d members, want %d", name, n, len(set), want)
+			}
+			if set[0] != r.Owner(name) {
+				t.Errorf("ReplicaSet(%q, %d)[0] = %d, want Owner %d", name, n, set[0], r.Owner(name))
+			}
+			seen := map[int]bool{}
+			for _, m := range set {
+				if m < 0 || m >= len(backends) {
+					t.Fatalf("ReplicaSet(%q, %d) member %d out of range", name, n, m)
+				}
+				if seen[m] {
+					t.Fatalf("ReplicaSet(%q, %d) repeats member %d: %v", name, n, m, set)
+				}
+				seen[m] = true
+			}
+			// Growing n only appends members; the prefix is stable, so a
+			// cluster can raise its replication factor without moving
+			// any existing primary or replica.
+			if n > 1 {
+				prev := r.ReplicaSet(name, n-1)
+				for i := range prev {
+					if set[i] != prev[i] {
+						t.Fatalf("ReplicaSet(%q, %d) prefix %v diverges from ReplicaSet(%q, %d) = %v",
+							name, n, set, name, n-1, prev)
+					}
+				}
+			}
+		}
+		if n := r.ReplicaSet(name, 0); len(n) != 1 || n[0] != r.Owner(name) {
+			t.Errorf("ReplicaSet(%q, 0) = %v, want just the owner", name, n)
+		}
+	}
+	// Deterministic across independently built rings (the property every
+	// gateway relies on).
+	r2, err := NewRing(backends, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range names {
+		a, b := r.ReplicaSet(name, 2), r2.ReplicaSet(name, 2)
+		if a[0] != b[0] || a[1] != b[1] {
+			t.Errorf("ReplicaSet(%q, 2) differs across identical rings: %v vs %v", name, a, b)
+		}
+	}
+}
+
+func TestReplicaSetSingleBackend(t *testing.T) {
+	r, err := NewRing([]string{"http://only:1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set := r.ReplicaSet("anything", 3); len(set) != 1 || set[0] != 0 {
+		t.Errorf("ReplicaSet over one backend = %v, want [0]", set)
+	}
+}

@@ -24,10 +24,22 @@ import (
 //	GET    /v1/datasets/{name}/truth           cached decided truths (ETag)
 //	GET    /v1/datasets/{name}/stats           dataset + detection stats
 //	POST   /v1/datasets/{name}/quiesce         block until converged
+//	GET    /v1/datasets/{name}/export          binary state snapshot (anti-entropy)
+//	POST   /v1/datasets/{name}/import          install a peer's export blob
 //
 // Reads serve the last published detection round and never block on
 // detection; they carry an ETag that changes exactly when a new round is
 // published, and honor If-None-Match with 304.
+//
+// An append may carry an X-Copydetect-Seq header naming its per-dataset
+// sequence number (sequence n must be the dataset's nth append). A
+// sequence the dataset has already passed is acknowledged without being
+// re-applied — replication layers use this to make re-sent batches
+// idempotent — and a sequence from the future fails with 409, because
+// applying it would reorder the stream. export and import are the
+// anti-entropy pair: export captures the full appended state (plus the
+// rounds counter) in the bit-exact binary codec, and import installs it
+// on a peer if and only if it is newer than what the peer holds.
 func NewHandler(reg *Registry) http.Handler {
 	return &handler{reg: reg}
 }
@@ -40,6 +52,18 @@ type handler struct {
 type errorResponse struct {
 	Error string `json:"error"`
 }
+
+// SeqHeader carries a per-dataset append sequence number (see
+// Managed.AppendSeq); ReplicaHeader marks a gateway response that was
+// served by a failover replica rather than the dataset's ring owner.
+const (
+	SeqHeader     = "X-Copydetect-Seq"
+	ReplicaHeader = "X-Copydetect-Replica"
+)
+
+// maxImportBytes bounds one import blob (matches the WAL's own record
+// ceiling, which the blob must fit inside to be durable).
+const maxImportBytes = 1 << 28
 
 // createRequest optionally overrides registry defaults for one dataset.
 // Omitted (zero) fields inherit.
@@ -62,6 +86,15 @@ type appendResponse struct {
 	Version      uint64 `json:"version"`
 	Appended     int    `json:"appended"`
 	Observations int    `json:"observations"`
+	// Duplicate marks a sequenced append whose sequence number the
+	// dataset had already passed: acknowledged, nothing re-applied.
+	Duplicate bool `json:"duplicate,omitempty"`
+}
+
+type importResponse struct {
+	Dataset string `json:"dataset"`
+	Applied bool   `json:"applied"`
+	Version uint64 `json:"version"`
 }
 
 type copyingPair struct {
@@ -174,6 +207,18 @@ func (h *handler) dataset(w http.ResponseWriter, req *http.Request, rest string)
 			return
 		}
 		h.quiesce(w, req, name)
+	case "export":
+		if req.Method != http.MethodGet {
+			writeErr(w, http.StatusMethodNotAllowed, "use GET")
+			return
+		}
+		h.export(w, name)
+	case "import":
+		if req.Method != http.MethodPost {
+			writeErr(w, http.StatusMethodNotAllowed, "use POST")
+			return
+		}
+		h.importState(w, req, name)
 	default:
 		writeErr(w, http.StatusNotFound, "unknown path")
 	}
@@ -267,10 +312,25 @@ func (h *handler) append(w http.ResponseWriter, req *http.Request, name string) 
 			return
 		}
 	}
-	version, total, err := m.Append(ar.Observations, ar.Truth)
+	var seq uint64
+	if raw := req.Header.Get(SeqHeader); raw != "" {
+		parsed, perr := strconv.ParseUint(raw, 10, 64)
+		if perr != nil || parsed == 0 {
+			writeErr(w, http.StatusBadRequest, SeqHeader+" must be a positive integer")
+			return
+		}
+		seq = parsed
+	}
+	version, total, applied, err := m.AppendSeq(ar.Observations, ar.Truth, seq)
 	switch {
 	case errors.Is(err, ErrNotFound):
 		writeErr(w, http.StatusNotFound, err.Error())
+		return
+	case errors.Is(err, ErrSeqGap):
+		// The batch is from the future: this replica is missing earlier
+		// appends and needs an anti-entropy import before it can accept
+		// the stream again.
+		writeErr(w, http.StatusConflict, err.Error())
 		return
 	case err != nil:
 		// A durable registry refused the batch because it could not be
@@ -278,12 +338,63 @@ func (h *handler) append(w http.ResponseWriter, req *http.Request, name string) 
 		writeErr(w, http.StatusInternalServerError, err.Error())
 		return
 	}
+	appended := len(ar.Observations)
+	if !applied {
+		appended = 0
+	}
 	writeJSON(w, http.StatusAccepted, appendResponse{
 		Dataset:      name,
 		Version:      version,
-		Appended:     len(ar.Observations),
+		Appended:     appended,
 		Observations: total,
+		Duplicate:    !applied,
 	})
+}
+
+// export streams the dataset's full appended state in the binary
+// anti-entropy format.
+func (h *handler) export(w http.ResponseWriter, name string) {
+	m, ok := h.reg.Get(name)
+	if !ok {
+		writeErr(w, http.StatusNotFound, ErrNotFound.Error())
+		return
+	}
+	blob, err := m.Export()
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, ErrNotFound) {
+			code = http.StatusNotFound
+		}
+		writeErr(w, code, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(blob)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(blob)
+}
+
+// importState installs an export blob from a replication peer.
+func (h *handler) importState(w http.ResponseWriter, req *http.Request, name string) {
+	blob, err := io.ReadAll(io.LimitReader(req.Body, maxImportBytes+1))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(blob) > maxImportBytes {
+		writeErr(w, http.StatusRequestEntityTooLarge, "import blob exceeds the size limit")
+		return
+	}
+	applied, version, err := h.reg.Import(name, blob)
+	switch {
+	case errors.Is(err, ErrNotFound):
+		writeErr(w, http.StatusNotFound, err.Error())
+		return
+	case err != nil:
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, importResponse{Dataset: name, Applied: applied, Version: version})
 }
 
 // serveCached handles the shared ETag negotiation of the read endpoints

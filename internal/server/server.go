@@ -32,6 +32,7 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -79,6 +80,11 @@ var ErrNotFound = fmt.Errorf("server: dataset not found")
 
 // ErrExists reports a Create for a name already registered.
 var ErrExists = fmt.Errorf("server: dataset already exists")
+
+// ErrSeqGap reports a sequenced append whose sequence number is ahead
+// of the dataset: one or more earlier appends are missing, so applying
+// it would put the replica out of order with its primary.
+var ErrSeqGap = fmt.Errorf("server: append sequence gap")
 
 // Published is the immutable outcome of one completed detection round.
 // Everything it points to is a snapshot: readers may use it without
@@ -129,6 +135,13 @@ type Managed struct {
 	pending     []verLSN // appends not yet covered by a snapshot
 	sinceSnap   int      // published rounds since the last snapshot
 	snapVersion uint64   // append version the newest on-disk snapshot covers
+	// inflightLSN is a lower bound on the WAL position of a record that
+	// has been (or is about to be) written but is not yet registered in
+	// pending — the window between the WAL write and re-acquiring mu.
+	// The compactor must never trim at or past it: the record may
+	// already be acknowledged, and trimming its segment would silently
+	// lose the batch at the next recovery. 0 means no write in flight.
+	inflightLSN uint64
 }
 
 // Info is a point-in-time summary of a managed dataset.
@@ -547,6 +560,14 @@ func (m *Managed) snapshot(final bool) {
 	if len(m.pending) > 0 {
 		trim = m.pending[0].lsn
 	}
+	if m.inflightLSN != 0 && m.inflightLSN < trim {
+		// An append's WAL record is in flight but not yet registered in
+		// pending: NextLSN may already count it, and trimming up to
+		// NextLSN at an exact segment boundary would delete the segment
+		// holding an acknowledged batch. Stop at the floor instead; the
+		// next compaction trims the rest.
+		trim = m.inflightLSN
+	}
 	m.mu.Unlock()
 	_, _ = st.log.TrimBefore(trim)
 	st.pruneSnapshots(2)
@@ -583,12 +604,44 @@ func (r *Registry) claimDirty() *Managed {
 // detection round. It returns the new append version and the total
 // number of observation cells.
 func (m *Managed) Append(obs, truth []dataset.Record) (version uint64, total int, err error) {
+	version, total, _, err = m.AppendSeq(obs, truth, 0)
+	return version, total, err
+}
+
+// testHookAfterWALAppend, when non-nil, runs between a successful WAL
+// append and the registration of its pending entry — the window the
+// inflightLSN floor protects. Test-only.
+var testHookAfterWALAppend func(m *Managed)
+
+// AppendSeq is Append with replay protection: seq, when non-zero,
+// asserts this batch is append number seq of the dataset. A batch whose
+// seq the dataset has already passed (version >= seq) is acknowledged
+// without being applied — applied is false and version is the current
+// version — so a replication layer may re-send a batch any number of
+// times and it lands exactly once. A seq from the future (version <
+// seq-1) fails with ErrSeqGap: earlier appends are missing and applying
+// out of order would diverge from the primary. seq 0 is an ordinary
+// unconditioned append.
+func (m *Managed) AppendSeq(obs, truth []dataset.Record, seq uint64) (version uint64, total int, applied bool, err error) {
 	m.appendMu.Lock()
 	defer m.appendMu.Unlock()
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
-		return 0, 0, ErrNotFound
+		return 0, 0, false, ErrNotFound
+	}
+	if seq > 0 {
+		if m.version >= seq {
+			// Duplicate delivery of an already-applied batch.
+			version, total = m.version, m.builder.NumObservations()
+			m.mu.Unlock()
+			return version, total, false, nil
+		}
+		if m.version != seq-1 {
+			cur := m.version
+			m.mu.Unlock()
+			return 0, 0, false, fmt.Errorf("%w: dataset %q is at version %d, batch claims sequence %d", ErrSeqGap, m.name, cur, seq)
+		}
 	}
 	var lsn uint64
 	if st := m.st; st != nil {
@@ -597,20 +650,28 @@ func (m *Managed) Append(obs, truth []dataset.Record) (version uint64, total int
 		// before the client sees an acknowledgement. The disk write
 		// happens outside m.mu — only appendMu is held — so readers
 		// never wait on fsync latency; appendMu keeps WAL order equal
-		// to version order.
+		// to version order. The inflight floor pins the compactor out
+		// of the segment this record will land in until the pending
+		// entry exists.
 		next := m.version + 1
+		m.inflightLSN = st.log.NextLSN()
 		m.mu.Unlock()
 		lsn, err = st.log.Append(encodeAppendRecord(next, obs, truth))
-		if err != nil {
-			return 0, 0, fmt.Errorf("server: dataset %q: append not durable: %w", m.name, err)
+		if err == nil && testHookAfterWALAppend != nil {
+			testHookAfterWALAppend(m)
 		}
 		m.mu.Lock()
+		m.inflightLSN = 0
+		if err != nil {
+			m.mu.Unlock()
+			return 0, 0, false, fmt.Errorf("server: dataset %q: append not durable: %w", m.name, err)
+		}
 		if m.closed {
 			// Deleted or shut down while the record was being written;
 			// the batch was never acknowledged, and the log is gone or
 			// going with the dataset.
 			m.mu.Unlock()
-			return 0, 0, ErrNotFound
+			return 0, 0, false, ErrNotFound
 		}
 		m.pending = append(m.pending, verLSN{version: next, lsn: lsn})
 	}
@@ -630,7 +691,104 @@ func (m *Managed) Append(obs, truth []dataset.Record) (version uint64, total int
 	m.cond.Broadcast()
 	m.mu.Unlock()
 	m.reg.kickAsync()
-	return version, total, nil
+	return version, total, true, nil
+}
+
+// Export serializes the dataset's full appended state — priors, worker
+// count, append version, rounds counter and the dataset itself in the
+// bit-exact binary codec — for anti-entropy transfer to a replica.
+// Importing the blob elsewhere reproduces this dataset's Builder
+// interning exactly, so appends streamed after the transfer keep both
+// copies byte-identical.
+func (m *Managed) Export() ([]byte, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrNotFound
+	}
+	snap := m.builder.Build()
+	version, rounds := m.version, m.rounds
+	params, workers := m.params, m.opts.Workers
+	m.mu.Unlock()
+	return encodeExport(params, workers, version, rounds, snap)
+}
+
+// Import replaces the named dataset's appended state with an Export
+// blob from its replication peer, creating the dataset (with the
+// blob's configuration) if it does not exist. The import applies only
+// when the blob is newer than the local state (blob version > local
+// version) — a stale or duplicated transfer is acknowledged without
+// effect — and returns the dataset's version afterwards. An applied
+// import schedules a detection round, so the catch-up converges to the
+// peer's published result.
+func (r *Registry) Import(name string, blob []byte) (applied bool, version uint64, err error) {
+	params, workers, impVersion, impRounds, ds, err := decodeExport(blob)
+	if err != nil {
+		return false, 0, err
+	}
+	m, ok := r.Get(name)
+	if !ok {
+		m, err = r.Create(name, DatasetConfig{Params: params, Workers: workers})
+		if err != nil && !errors.Is(err, ErrExists) {
+			return false, 0, err
+		}
+		if err != nil {
+			// Lost a create race; the winner's dataset takes the import.
+			if m, ok = r.Get(name); !ok {
+				return false, 0, ErrNotFound
+			}
+		}
+	}
+	return m.importState(ds, impVersion, impRounds)
+}
+
+// importState installs an imported dataset snapshot. It shares the
+// append path's locking discipline: appendMu orders it against appends,
+// the WAL record precedes any in-memory effect, and the inflight floor
+// protects the record until its pending entry exists.
+func (m *Managed) importState(ds *dataset.Dataset, version uint64, rounds int) (bool, uint64, error) {
+	m.appendMu.Lock()
+	defer m.appendMu.Unlock()
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return false, 0, ErrNotFound
+	}
+	if m.version >= version {
+		cur := m.version
+		m.mu.Unlock()
+		return false, cur, nil
+	}
+	if st := m.st; st != nil {
+		m.inflightLSN = st.log.NextLSN()
+		m.mu.Unlock()
+		lsn, err := st.log.Append(encodeImportRecord(version, rounds, ds))
+		m.mu.Lock()
+		m.inflightLSN = 0
+		if err != nil {
+			m.mu.Unlock()
+			return false, 0, fmt.Errorf("server: dataset %q: import not durable: %w", m.name, err)
+		}
+		if m.closed {
+			m.mu.Unlock()
+			return false, 0, ErrNotFound
+		}
+		m.pending = append(m.pending, verLSN{version: version, lsn: lsn})
+	}
+	m.builder = dataset.NewBuilderFromDataset(ds)
+	m.version = version
+	if rounds > m.rounds {
+		m.rounds = rounds
+	}
+	m.dirty = true
+	if m.cancel != nil {
+		close(m.cancel)
+		m.cancel = nil
+	}
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	m.reg.kickAsync()
+	return true, version, nil
 }
 
 // Published returns the last completed round, or nil before the first.

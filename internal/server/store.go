@@ -44,15 +44,22 @@ import (
 const (
 	walRecAppend  = 1 // one acknowledged append batch
 	walRecPublish = 2 // a detection round completed
+	walRecImport  = 3 // anti-entropy import replaced the appended state
 
-	snapMagic  = "CDSNAP\x01"
-	snapPrefix = "snap-"
-	snapSuffix = ".bin"
+	snapMagic   = "CDSNAP\x01"
+	exportMagic = "CDEXP\x01"
+	snapPrefix  = "snap-"
+	snapSuffix  = ".bin"
 
 	maxBatch = 1 << 26
 )
 
 var snapCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// testWALSegmentBytes overrides the WAL segment rotation threshold
+// (0 = the WAL default). Test-only: the trim-boundary tests need
+// rotation after a handful of records, not 4 MiB.
+var testWALSegmentBytes int64
 
 // dstore is the on-disk half of one Managed dataset.
 type dstore struct {
@@ -202,12 +209,68 @@ func encodePublishRecord(round int, version uint64) []byte {
 	return buf.Bytes()
 }
 
+// encodeImportRecord frames an applied anti-entropy import: the whole
+// replacement state rides in the log, so recovery replays the import
+// the same way it replays the appends it superseded.
+func encodeImportRecord(version uint64, rounds int, ds *dataset.Dataset) []byte {
+	var buf bytes.Buffer
+	w := binio.NewWriter(&buf)
+	w.Byte(walRecImport)
+	w.Uvarint(version)
+	w.Int(rounds)
+	dataset.EncodeDataset(w, ds)
+	return buf.Bytes()
+}
+
+// encodeExport serializes one dataset's full appended state for
+// anti-entropy transfer: configuration, append version, rounds counter
+// and the dataset in the bit-exact binary codec.
+func encodeExport(params bayes.Params, workers int, version uint64, rounds int, ds *dataset.Dataset) ([]byte, error) {
+	var buf bytes.Buffer
+	w := binio.NewWriter(&buf)
+	w.String(exportMagic)
+	w.Float64(params.Alpha)
+	w.Float64(params.S)
+	w.Float64(params.N)
+	w.Int(workers)
+	w.Uvarint(version)
+	w.Int(rounds)
+	dataset.EncodeDataset(w, ds)
+	if err := w.Err(); err != nil {
+		return nil, fmt.Errorf("server: encode export: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeExport inverts encodeExport.
+func decodeExport(blob []byte) (params bayes.Params, workers int, version uint64, rounds int, ds *dataset.Dataset, err error) {
+	r := binio.NewReader(bytes.NewReader(blob))
+	if m := r.String(); r.Err() == nil && m != exportMagic {
+		return params, 0, 0, 0, nil, fmt.Errorf("server: export blob: bad magic")
+	}
+	params.Alpha = r.Float64()
+	params.S = r.Float64()
+	params.N = r.Float64()
+	workers = r.Int(1 << 20)
+	version = r.Uvarint()
+	rounds = r.Int(1 << 30)
+	ds, err = dataset.DecodeDataset(r)
+	if err != nil {
+		return params, 0, 0, 0, nil, fmt.Errorf("server: export blob: %w", err)
+	}
+	if err := r.Err(); err != nil {
+		return params, 0, 0, 0, nil, fmt.Errorf("server: export blob: %w", err)
+	}
+	return params, workers, version, rounds, ds, nil
+}
+
 type walRecord struct {
 	kind    byte
 	version uint64
 	round   int
 	obs     []dataset.Record
 	truth   []dataset.Record
+	ds      *dataset.Dataset // walRecImport only
 }
 
 func decodeWALRecord(payload []byte) (walRecord, error) {
@@ -231,6 +294,13 @@ func decodeWALRecord(payload []byte) (walRecord, error) {
 	case walRecPublish:
 		rec.round = r.Int(1 << 30)
 		rec.version = r.Uvarint()
+	case walRecImport:
+		rec.version = r.Uvarint()
+		rec.round = r.Int(1 << 30)
+		var err error
+		if rec.ds, err = dataset.DecodeDataset(r); err != nil {
+			return rec, fmt.Errorf("server: decode wal import record: %w", err)
+		}
 	default:
 		return rec, fmt.Errorf("server: unknown wal record type %d", rec.kind)
 	}
@@ -392,7 +462,7 @@ func newDatasetStore(dataDir string, cfg datasetConfig, fsync bool) (*dstore, er
 	if err := writeFileDurable(filepath.Join(dir, "config.json"), raw); err != nil {
 		return fail(fmt.Errorf("server: write dataset config: %w", err))
 	}
-	log, err := wal.Open(filepath.Join(dir, "wal"), wal.Options{Fsync: fsync}, nil)
+	log, err := wal.Open(filepath.Join(dir, "wal"), wal.Options{Fsync: fsync, SegmentBytes: testWALSegmentBytes}, nil)
 	if err != nil {
 		return fail(err)
 	}
@@ -441,7 +511,7 @@ func recoverDataset(dir string, fsync bool) (*Managed, error) {
 	m.builder = builder
 
 	snapVersion := m.version
-	log, err := wal.Open(filepath.Join(dir, "wal"), wal.Options{Fsync: fsync}, func(lsn uint64, payload []byte) error {
+	log, err := wal.Open(filepath.Join(dir, "wal"), wal.Options{Fsync: fsync, SegmentBytes: testWALSegmentBytes}, func(lsn uint64, payload []byte) error {
 		rec, err := decodeWALRecord(payload)
 		if err != nil {
 			return err
@@ -461,6 +531,17 @@ func recoverDataset(dir string, fsync bool) (*Managed, error) {
 			if rec.round > m.rounds {
 				m.rounds = rec.round
 			}
+		case walRecImport:
+			if rec.version <= m.version {
+				return nil // superseded by the snapshot or a later state
+			}
+			builder = dataset.NewBuilderFromDataset(rec.ds)
+			m.builder = builder
+			m.version = rec.version
+			if rec.round > m.rounds {
+				m.rounds = rec.round
+			}
+			m.pending = append(m.pending, verLSN{version: rec.version, lsn: lsn})
 		}
 		return nil
 	})

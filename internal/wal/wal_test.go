@@ -295,3 +295,73 @@ func TestAppendFailureDoesNotPoisonTail(t *testing.T) {
 		t.Fatalf("replay after failed append = %v", got)
 	}
 }
+
+// TestTrimBeforeAtExactSegmentBoundary pins TrimBefore's boundary
+// semantics when the trim LSN coincides exactly with a segment
+// rotation: a segment is deleted if and only if every one of its
+// records is strictly below the trim point, and the active segment
+// survives any trim. Sized so each segment holds exactly two records.
+func TestTrimBeforeAtExactSegmentBoundary(t *testing.T) {
+	dir := t.TempDir()
+	// header (5) + two frames of 8+5 bytes = 31: the third append
+	// rotates, so segments hold records [1,2], [3,4], [5,6].
+	l, err := Open(dir, Options{SegmentBytes: 31}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 6; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(l.segments); got != 3 {
+		t.Fatalf("layout: %d segments, want 3", got)
+	}
+
+	// Trim below the first boundary: record 2 is still needed, so the
+	// segment holding [1,2] must survive.
+	if n, err := l.TrimBefore(2); err != nil || n != 0 {
+		t.Fatalf("TrimBefore(2) = %d, %v; want 0 removals", n, err)
+	}
+	// Trim exactly at the boundary (lsn 3 = first record of segment 2):
+	// every record of segment 1 is < 3, so it goes — and only it.
+	if n, err := l.TrimBefore(3); err != nil || n != 1 {
+		t.Fatalf("TrimBefore(3) = %d, %v; want exactly 1 removal", n, err)
+	}
+	// One past the boundary: segment 2 still holds record 4.
+	if n, err := l.TrimBefore(4); err != nil || n != 0 {
+		t.Fatalf("TrimBefore(4) = %d, %v; want 0 removals", n, err)
+	}
+	// Far future: everything closed goes, the active segment never does.
+	if n, err := l.TrimBefore(1 << 40); err != nil || n != 1 {
+		t.Fatalf("TrimBefore(huge) = %d, %v; want 1 removal (active survives)", n, err)
+	}
+	if _, err := l.Append([]byte("rec-7")); err != nil {
+		t.Fatalf("append after trims: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the survivors replay with their original LSNs.
+	var got []string
+	var lsns []uint64
+	l2, err := Open(dir, Options{SegmentBytes: 31}, func(lsn uint64, payload []byte) error {
+		got = append(got, string(payload))
+		lsns = append(lsns, lsn)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if want := []string{"rec-5", "rec-6", "rec-7"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("replay after boundary trims = %v, want %v", got, want)
+	}
+	if want := []uint64{5, 6, 7}; !reflect.DeepEqual(lsns, want) {
+		t.Fatalf("replay LSNs = %v, want %v", lsns, want)
+	}
+	if next := l2.NextLSN(); next != 8 {
+		t.Fatalf("NextLSN after reopen = %d, want 8", next)
+	}
+}
