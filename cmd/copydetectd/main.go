@@ -10,10 +10,22 @@
 //	copydetectd [-addr :8377] [-alpha 0.1] [-s 0.8] [-n 100]
 //	            [-workers 0] [-concurrency 1]
 //	            [-data-dir DIR] [-fsync] [-snapshot-every 1]
+//	            [-append-high-water 0]
 //
 // -workers 0 (the default) shards each detection round over one
 // goroutine per CPU; -concurrency caps how many datasets detect at the
 // same time.
+//
+// The daemon serves Prometheus-format metrics on GET /metrics: request
+// rate/latency/in-flight by route, per-dataset convergence lag,
+// scheduler queue depth, round durations and WAL append/fsync latency.
+// Every request is tagged with an X-Copydetect-Trace ID (generated if
+// the client — usually cmd/copygate — did not send one) that appears in
+// the access log and the response. With -append-high-water N the daemon
+// refuses direct client appends with 429 + Retry-After while a dataset
+// has N or more appends awaiting convergence, bounding the backlog a
+// fast writer can pile onto the scheduler; replicated (sequenced)
+// appends are exempt, since the gateway already admitted them.
 //
 // With -data-dir the daemon is durable: every dataset keeps a
 // write-ahead log and periodic snapshots under the directory, appends
@@ -51,6 +63,7 @@ import (
 	"copydetect/internal/bayes"
 	"copydetect/internal/pool"
 	"copydetect/internal/server"
+	"copydetect/internal/telemetry"
 )
 
 // options carries the parsed command line; split out for testability.
@@ -74,6 +87,7 @@ func parseFlags(args []string) (options, error) {
 	dataDir := fs.String("data-dir", "", "durable storage directory (empty = in-memory only)")
 	fsync := fs.Bool("fsync", true, "fsync the write-ahead log before acknowledging appends (with -data-dir)")
 	snapEvery := fs.Int("snapshot-every", 1, "snapshot and trim a dataset's log every N published rounds (with -data-dir)")
+	appendHW := fs.Int("append-high-water", 0, "refuse client appends with 429 while a dataset has this many appends awaiting convergence (0 = unbounded)")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
 	}
@@ -87,6 +101,9 @@ func parseFlags(args []string) (options, error) {
 	if *snapEvery < 1 {
 		return options{}, fmt.Errorf("copydetectd: -snapshot-every %d must be at least 1", *snapEvery)
 	}
+	if *appendHW < 0 {
+		return options{}, fmt.Errorf("copydetectd: -append-high-water %d must be >= 0 (0 = unbounded)", *appendHW)
+	}
 	w := *workers
 	if w <= 0 {
 		w = pool.Auto()
@@ -98,6 +115,7 @@ func parseFlags(args []string) (options, error) {
 	opt.cfg.DataDir = *dataDir
 	opt.cfg.Fsync = *fsync
 	opt.cfg.SnapshotEvery = *snapEvery
+	opt.cfg.AppendHighWater = *appendHW
 	return opt, nil
 }
 
@@ -133,7 +151,13 @@ func run(args []string) int {
 			return 1
 		}
 	}
-	srv := &http.Server{Handler: logRequests(server.NewHandler(reg))}
+	treg := telemetry.New()
+	reg.RegisterMetrics(treg)
+	httpMetrics := telemetry.NewHTTPMetrics(treg, "copydetectd", log.Default())
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", treg.Handler())
+	mux.Handle("/", server.NewHandler(reg))
+	srv := newHTTPServer(httpMetrics.Wrap(mux))
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -165,11 +189,14 @@ func run(args []string) int {
 	return 0
 }
 
-// logRequests is a one-line access log.
-func logRequests(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
-		start := time.Now()
-		next.ServeHTTP(w, req)
-		log.Printf("%s %s %v", req.Method, req.URL.Path, time.Since(start).Round(time.Microsecond))
-	})
+// newHTTPServer builds the daemon's http.Server with the header and
+// idle timeouts every network-facing listener needs: without them one
+// client trickling a request line (or parking idle keep-alives) holds a
+// connection forever.
+func newHTTPServer(handler http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 }

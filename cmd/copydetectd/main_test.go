@@ -24,6 +24,14 @@ func TestParseFlags(t *testing.T) {
 	if opt.cfg.DataDir != "" || !opt.cfg.Fsync || opt.cfg.SnapshotEvery != 1 {
 		t.Fatalf("durability defaults = %+v", opt.cfg)
 	}
+	if opt.cfg.AppendHighWater != 0 {
+		t.Fatalf("default -append-high-water: cfg.AppendHighWater = %d, want 0 (unbounded)", opt.cfg.AppendHighWater)
+	}
+
+	opt, err = parseFlags([]string{"-append-high-water", "64"})
+	if err != nil || opt.cfg.AppendHighWater != 64 {
+		t.Fatalf("-append-high-water 64: cfg.AppendHighWater = %d (err %v), want 64", opt.cfg.AppendHighWater, err)
+	}
 
 	opt, err = parseFlags([]string{
 		"-addr", "127.0.0.1:9000", "-alpha", "0.2", "-s", "0.5", "-n", "40",
@@ -51,10 +59,24 @@ func TestParseFlags(t *testing.T) {
 		{"-n", "1"},
 		{"-concurrency", "0"},
 		{"-snapshot-every", "0"},
+		{"-append-high-water", "-1"},
 		{"-nonsense"},
 	} {
 		if _, err := parseFlags(bad); err == nil {
 			t.Errorf("parseFlags(%v) accepted invalid input", bad)
 		}
+	}
+}
+
+// TestHTTPServerTimeouts pins the slow-client protections on the
+// listener: a server with no ReadHeaderTimeout can be held open forever
+// by one trickled request line.
+func TestHTTPServerTimeouts(t *testing.T) {
+	srv := newHTTPServer(nil)
+	if srv.ReadHeaderTimeout <= 0 {
+		t.Errorf("ReadHeaderTimeout = %v, want > 0", srv.ReadHeaderTimeout)
+	}
+	if srv.IdleTimeout <= 0 {
+		t.Errorf("IdleTimeout = %v, want > 0", srv.IdleTimeout)
 	}
 }

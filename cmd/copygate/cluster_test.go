@@ -40,6 +40,7 @@ import (
 	"copydetect/internal/dataset"
 	"copydetect/internal/gen"
 	"copydetect/internal/server"
+	"copydetect/internal/telemetry"
 )
 
 const childEnv = "COPYGATE_CHILD_ARGS"
@@ -91,12 +92,32 @@ func buildCopydetectd(t *testing.T) string {
 	return buildBin
 }
 
+// syncBuffer is a bytes.Buffer safe for the concurrent writes of a
+// child's output pipe and the test's mid-run reads (the trace-ID
+// assertion greps a child's access log while it is still serving).
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
 // proc is one child process (daemon or gateway) with captured output.
 type proc struct {
 	name   string
 	cmd    *exec.Cmd
 	base   string // http://host:port once serving
-	output *bytes.Buffer
+	output *syncBuffer
 	exited chan struct{}
 }
 
@@ -134,7 +155,7 @@ func startGateway(t *testing.T, name string, args ...string) *proc {
 // file that signals it is serving.
 func spawn(t *testing.T, name string, cmd *exec.Cmd, addrFile string) *proc {
 	t.Helper()
-	p := &proc{name: name, cmd: cmd, output: &bytes.Buffer{}}
+	p := &proc{name: name, cmd: cmd, output: &syncBuffer{}}
 	var sink io.Writer = p.output
 	if dir := os.Getenv("CLUSTER_E2E_LOG_DIR"); dir != "" {
 		if err := os.MkdirAll(dir, 0o777); err == nil {
@@ -364,8 +385,11 @@ func TestClusterEquivalence(t *testing.T) {
 			daemons := make([]*proc, 3)
 			urls := make([]string, 3)
 			for i := range daemons {
+				// Durable daemons, so the /metrics scrape below sees real
+				// WAL append/fsync observations, not empty histograms.
 				daemons[i] = startDaemon(t, fmt.Sprintf("copydetectd-w%d-%d", workers, i),
-					"-workers", fmt.Sprint(workers))
+					"-workers", fmt.Sprint(workers),
+					"-data-dir", filepath.Join(t.TempDir(), "data"))
 				urls[i] = daemons[i].base
 			}
 			gate := startGateway(t, fmt.Sprintf("copygate-w%d", workers),
@@ -444,6 +468,82 @@ func TestClusterEquivalence(t *testing.T) {
 					t.Fatalf("append wave 1 to %q: status=%d err=%v body=%s", w.name, status, err, raw)
 				}
 			}
+			// Observability (ISSUE 6), mid-load with every backend alive:
+			// one request's trace ID must appear in both the gateway's and
+			// a backend's access log, and /metrics on all four processes
+			// must expose the advertised families, every line parseable.
+			tStatus, tHdr, tRaw, tErr := httpDoHdr(httpClient, http.MethodGet,
+				gate.base+"/v1/datasets/"+ws[0].name+"/copies", nil)
+			if tErr != nil || tStatus != http.StatusOK {
+				t.Fatalf("traced read: status=%d err=%v body=%s", tStatus, tErr, tRaw)
+			}
+			trace := tHdr.Get("X-Copydetect-Trace")
+			if len(trace) != 16 {
+				t.Errorf("gateway returned trace ID %q, want a generated 16-hex ID", trace)
+			}
+			inLogs := func() bool {
+				if !strings.Contains(gate.output.String(), "trace="+trace) {
+					return false
+				}
+				for _, d := range daemons {
+					if strings.Contains(d.output.String(), "trace="+trace) {
+						return true
+					}
+				}
+				return false
+			}
+			for deadline := time.Now().Add(10 * time.Second); !inLogs(); {
+				if time.Now().After(deadline) {
+					t.Errorf("trace ID %s missing from the gateway's and a backend's access logs", trace)
+					break
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+
+			gwSamples := scrapeMetrics(t, httpClient, gate.base)
+			if v, ok := metricValue(gwSamples, "copygate_http_requests_total",
+				map[string]string{"route": "/v1/datasets/{name}/observations", "code": "202"}); !ok || v < 1 {
+				t.Errorf("gateway request counter for accepted appends = %v (present=%v), want >= 1", v, ok)
+			}
+			if v, ok := metricValue(gwSamples, "copygate_http_request_duration_seconds_count",
+				map[string]string{"route": "/v1/datasets/{name}/observations"}); !ok || v < 1 {
+				t.Errorf("gateway latency histogram for appends = %v (present=%v), want >= 1", v, ok)
+			}
+			if _, ok := metricValue(gwSamples, "copygate_mirror_queue_depth", nil); !ok {
+				t.Error("gateway mirror queue depth missing from /metrics")
+			}
+			for i := range daemons {
+				if v, ok := metricValue(gwSamples, "copygate_backend_healthy",
+					map[string]string{"backend": urls[i]}); !ok || v != 1 {
+					t.Errorf("copygate_backend_healthy{%s} = %v (present=%v), want 1", urls[i], v, ok)
+				}
+			}
+			for i, d := range daemons {
+				samples := scrapeMetrics(t, httpClient, d.base)
+				if v, ok := metricValue(samples, "copydetectd_http_requests_total", nil); !ok || v < 1 {
+					t.Errorf("backend %d request counter = %v (present=%v), want >= 1", i, v, ok)
+				}
+				if _, ok := metricValue(samples, "copydetectd_scheduler_queue_depth", nil); !ok {
+					t.Errorf("backend %d scheduler queue depth missing from /metrics", i)
+				}
+				if v, ok := metricValue(samples, "copydetectd_wal_fsync_seconds_count", nil); !ok || v < 1 {
+					t.Errorf("backend %d WAL fsync count = %v (present=%v), want >= 1 (durable daemon)", i, v, ok)
+				}
+				if v, ok := metricValue(samples, "copydetectd_rounds_total", nil); !ok || v < 1 {
+					t.Errorf("backend %d rounds counter = %v (present=%v), want >= 1", i, v, ok)
+				}
+				lagSeen := false
+				for _, s := range samples {
+					if s.Name == "copydetectd_dataset_convergence_lag_appends" {
+						lagSeen = true
+						break
+					}
+				}
+				if !lagSeen {
+					t.Errorf("backend %d exposes no per-dataset convergence lag", i)
+				}
+			}
+
 			t.Logf("killing backend %d (%s) mid-stream", victim, urls[victim])
 			daemons[victim].kill()
 			// ...wave 2 lands with the victim dead: zero 5xx, and requests
@@ -565,6 +665,39 @@ func TestClusterEquivalence(t *testing.T) {
 			}
 		})
 	}
+}
+
+// scrapeMetrics GETs a process's /metrics and parses every exposition
+// line — a malformed line anywhere fails the scrape.
+func scrapeMetrics(t *testing.T, client *http.Client, base string) []telemetry.Sample {
+	t.Helper()
+	status, raw, err := httpDo(client, http.MethodGet, base+"/metrics", nil)
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("scrape %s/metrics: status=%d err=%v", base, status, err)
+	}
+	samples, err := telemetry.ParseLines(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("metrics from %s do not parse: %v\n%s", base, err, raw)
+	}
+	return samples
+}
+
+// metricValue finds the first sample matching name and the given label
+// subset, summing nothing: vectors are matched per-child.
+func metricValue(samples []telemetry.Sample, name string, labels map[string]string) (float64, bool) {
+next:
+	for _, s := range samples {
+		if s.Name != name {
+			continue
+		}
+		for k, v := range labels {
+			if s.Labels[k] != v {
+				continue next
+			}
+		}
+		return s.Value, true
+	}
+	return 0, false
 }
 
 // healthzView is the subset of the gateway /healthz body the test

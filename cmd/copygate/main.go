@@ -12,6 +12,7 @@
 //	copygate -backends http://h1:8377,http://h2:8377,http://h3:8377
 //	         [-addr :8378] [-addr-file FILE] [-replicas 2]
 //	         [-probe-every 1s] [-probe-timeout 500ms] [-retries 2]
+//	         [-mirror-high-water 192]
 //
 // With -replicas R (default 2) every dataset lives on the first R
 // distinct backends walking the ring from its name: writes are
@@ -29,6 +30,18 @@
 // failures. The -backends list and its order are the routing table:
 // every gateway over one cluster must use the same list. See
 // internal/cluster for the design.
+//
+// The gateway serves Prometheus-format metrics on GET /metrics: request
+// rate/latency/in-flight by route, per-backend health and replication
+// lag, mirror-queue depth in jobs and bytes, ring ownership, and the
+// retry/failover/admission counters. Every request is tagged with an
+// X-Copydetect-Trace ID — generated here if the client did not send one
+// — that is propagated to the backends and onto asynchronous mirror
+// deliveries, so one client write can be followed through every access
+// log it touches. While a dataset's mirror queue holds
+// -mirror-high-water or more jobs (a replica is down or slow), appends
+// to it are refused with 429 + Retry-After instead of queueing without
+// bound; 0 disables the limit.
 package main
 
 import (
@@ -46,6 +59,7 @@ import (
 	"time"
 
 	"copydetect/internal/cluster"
+	"copydetect/internal/telemetry"
 )
 
 // options carries the parsed command line; split out for testability.
@@ -65,6 +79,7 @@ func parseFlags(args []string) (options, error) {
 	probeTimeout := fs.Duration("probe-timeout", 0, "timeout of one health probe (0 = half of -probe-every)")
 	retries := fs.Int("retries", 2, "transport-failure retries for idempotent GETs (0 = none)")
 	replicas := fs.Int("replicas", 2, "backends holding each dataset (1 = no replication; clamped to the backend count)")
+	mirrorHW := fs.Int("mirror-high-water", cluster.DefaultMirrorHighWater, "refuse appends with 429 while a dataset's replica mirror queue holds this many jobs (0 = unbounded)")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
 	}
@@ -91,6 +106,9 @@ func parseFlags(args []string) (options, error) {
 	if *replicas < 1 {
 		return options{}, fmt.Errorf("copygate: -replicas must be at least 1")
 	}
+	if *mirrorHW < 0 {
+		return options{}, fmt.Errorf("copygate: -mirror-high-water must be >= 0 (0 = unbounded)")
+	}
 	opt := options{addr: *addr, addrFile: *addrFile}
 	opt.cfg.Backends = urls
 	opt.cfg.ProbeEvery = *probeEvery
@@ -101,6 +119,12 @@ func parseFlags(args []string) (options, error) {
 	opt.cfg.Retries = *retries
 	if *retries <= 0 {
 		opt.cfg.Retries = -1
+	}
+	// Same convention for the mirror high-water mark: the flag's 0 means
+	// "no limit", which Config spells -1 (its 0 selects the default).
+	opt.cfg.MirrorHighWater = *mirrorHW
+	if *mirrorHW == 0 {
+		opt.cfg.MirrorHighWater = -1
 	}
 	return opt, nil
 }
@@ -137,7 +161,13 @@ func run(args []string) int {
 			return 1
 		}
 	}
-	srv := &http.Server{Handler: logRequests(gw)}
+	treg := telemetry.New()
+	gw.RegisterMetrics(treg)
+	httpMetrics := telemetry.NewHTTPMetrics(treg, "copygate", log.Default())
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", treg.Handler())
+	mux.Handle("/", gw)
+	srv := newHTTPServer(httpMetrics.Wrap(mux))
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -171,11 +201,14 @@ func run(args []string) int {
 	return 0
 }
 
-// logRequests is a one-line access log.
-func logRequests(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
-		start := time.Now()
-		next.ServeHTTP(w, req)
-		log.Printf("%s %s %v", req.Method, req.URL.Path, time.Since(start).Round(time.Microsecond))
-	})
+// newHTTPServer builds the gateway's http.Server with the header and
+// idle timeouts every network-facing listener needs: without them one
+// client trickling a request line (or parking idle keep-alives) holds a
+// connection forever.
+func newHTTPServer(handler http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 }

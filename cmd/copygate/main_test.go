@@ -3,6 +3,8 @@ package main
 import (
 	"testing"
 	"time"
+
+	"copydetect/internal/cluster"
 )
 
 // TestParseFlags exercises every documented flag and the backend-list
@@ -23,6 +25,10 @@ func TestParseFlags(t *testing.T) {
 	}
 	if opt.cfg.Replication != 2 {
 		t.Fatalf("default -replicas: cfg.Replication = %d, want 2", opt.cfg.Replication)
+	}
+	if opt.cfg.MirrorHighWater != cluster.DefaultMirrorHighWater {
+		t.Fatalf("default -mirror-high-water: cfg.MirrorHighWater = %d, want %d",
+			opt.cfg.MirrorHighWater, cluster.DefaultMirrorHighWater)
 	}
 
 	opt, err = parseFlags([]string{"-backends", "http://a:1,http://b:2", "-replicas", "1"})
@@ -55,6 +61,16 @@ func TestParseFlags(t *testing.T) {
 		t.Fatalf("-retries 0: cfg.Retries = %d (err %v), want -1", opt.cfg.Retries, err)
 	}
 
+	// Same convention for -mirror-high-water: 0 disables the limit.
+	opt, err = parseFlags([]string{"-backends", "http://a:1", "-mirror-high-water", "0"})
+	if err != nil || opt.cfg.MirrorHighWater != -1 {
+		t.Fatalf("-mirror-high-water 0: cfg.MirrorHighWater = %d (err %v), want -1", opt.cfg.MirrorHighWater, err)
+	}
+	opt, err = parseFlags([]string{"-backends", "http://a:1", "-mirror-high-water", "8"})
+	if err != nil || opt.cfg.MirrorHighWater != 8 {
+		t.Fatalf("-mirror-high-water 8: cfg.MirrorHighWater = %d (err %v), want 8", opt.cfg.MirrorHighWater, err)
+	}
+
 	for _, bad := range [][]string{
 		nil,                        // no backends
 		{"-backends", " , "},       // empty after trimming
@@ -62,10 +78,24 @@ func TestParseFlags(t *testing.T) {
 		{"-backends", "http://a:1", "-probe-every", "-1s"},
 		{"-backends", "http://a:1", "-probe-timeout", "-1s"},
 		{"-backends", "http://a:1", "-replicas", "0"},
+		{"-backends", "http://a:1", "-mirror-high-water", "-1"},
 		{"-nonsense"},
 	} {
 		if _, err := parseFlags(bad); err == nil {
 			t.Errorf("parseFlags(%v) accepted invalid input", bad)
 		}
+	}
+}
+
+// TestHTTPServerTimeouts pins the slow-client protections on the
+// listener: a server with no ReadHeaderTimeout can be held open forever
+// by one trickled request line.
+func TestHTTPServerTimeouts(t *testing.T) {
+	srv := newHTTPServer(nil)
+	if srv.ReadHeaderTimeout <= 0 {
+		t.Errorf("ReadHeaderTimeout = %v, want > 0", srv.ReadHeaderTimeout)
+	}
+	if srv.IdleTimeout <= 0 {
+		t.Errorf("IdleTimeout = %v, want > 0", srv.IdleTimeout)
 	}
 }

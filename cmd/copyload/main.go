@@ -19,6 +19,12 @@
 // the global append rate in batches per second (0 = as fast as the
 // target absorbs). With -quiesce (the default) the run ends by driving
 // every dataset to convergence and timing it.
+//
+// A 429 from the target is backpressure, not failure: the batch is
+// retried after the advertised Retry-After and tallied separately as
+// "throttled" in the summary, so a run against an admission-controlled
+// daemon or gateway reports the pace the service chose rather than a
+// wall of errors.
 package main
 
 import (
@@ -31,6 +37,8 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -177,15 +185,20 @@ func summarize(samples []time.Duration) *latencyStats {
 
 // report is the machine-readable run summary (-json).
 type report struct {
-	Target        string  `json:"target"`
-	Preset        string  `json:"preset"`
-	Scale         float64 `json:"scale"`
-	Datasets      int     `json:"datasets"`
-	Clients       int     `json:"clients"`
-	TargetRate    float64 `json:"targetRate,omitempty"`
-	Appends       int     `json:"appends"`
-	Observations  int     `json:"observations"`
-	Errors        int     `json:"errors"`
+	Target       string  `json:"target"`
+	Preset       string  `json:"preset"`
+	Scale        float64 `json:"scale"`
+	Datasets     int     `json:"datasets"`
+	Clients      int     `json:"clients"`
+	TargetRate   float64 `json:"targetRate,omitempty"`
+	Appends      int     `json:"appends"`
+	Observations int     `json:"observations"`
+	Errors       int     `json:"errors"`
+	// Throttled counts appends the target refused with 429 before
+	// eventually accepting them on retry: server-paced backpressure, a
+	// different signal from Errors (each throttled batch still landed
+	// exactly once, in order).
+	Throttled     int     `json:"throttled"`
 	WallSeconds   float64 `json:"wallSeconds"`
 	AppendsPerSec float64 `json:"appendsPerSec"`
 	ObsPerSec     float64 `json:"obsPerSec"`
@@ -213,8 +226,15 @@ type clientResult struct {
 	appends   int
 	obs       int
 	errors    int
+	throttled int
 	latencies []time.Duration
 }
+
+// maxConsecutiveThrottles bounds how long one stream keeps retrying a
+// batch the target refuses with 429: past this many refusals in a row
+// (minutes of waiting at the usual Retry-After) the target is wedged,
+// not busy, and the stream is abandoned as failed.
+const maxConsecutiveThrottles = 120
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -248,7 +268,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	httpClient := &http.Client{}
 	base := opt.target + "/v1/datasets/"
 	for _, task := range tasks {
-		status, body, err := doJSON(httpClient, http.MethodPut, base+task.name, nil)
+		status, _, body, err := doJSON(httpClient, http.MethodPut, base+task.name, nil)
 		if err != nil || status != http.StatusCreated {
 			fmt.Fprintf(stderr, "copyload: create %s: status=%d err=%v body=%s\n", task.name, status, err, body)
 			return 1
@@ -284,7 +304,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		go func(c int) {
 			defer wg.Done()
 			res := &results[c]
-			next := make([]int, len(perClient[c])) // next batch index per stream
+			next := make([]int, len(perClient[c]))   // next batch index per stream
+			stalls := make([]int, len(perClient[c])) // consecutive 429s per stream
 			for remaining := true; remaining; {
 				remaining = false
 				for s, task := range perClient[c] {
@@ -298,8 +319,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 					batch := task.batches[next[s]]
 					next[s]++
 					t0 := time.Now()
-					status, _, err := doJSON(httpClient, http.MethodPost,
+					status, hdr, _, err := doJSON(httpClient, http.MethodPost,
 						base+task.name+"/observations", appendRequest{Observations: batch})
+					if err == nil && status == http.StatusTooManyRequests &&
+						stalls[s] < maxConsecutiveThrottles {
+						// Backpressure, not failure: the target refused the
+						// batch to bound its queues and said when to come
+						// back. Honor the hint and retry the same batch —
+						// nothing was applied, so the stream has no hole.
+						res.throttled++
+						stalls[s]++
+						next[s]--
+						time.Sleep(retryAfter(hdr))
+						continue
+					}
 					if err != nil || status != http.StatusAccepted {
 						// A failed append breaks the dataset's sequential
 						// stream; abandon its remaining batches rather than
@@ -310,6 +343,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 						next[s] = len(task.batches)
 						continue
 					}
+					stalls[s] = 0
 					res.latencies = append(res.latencies, time.Since(t0))
 					res.appends++
 					res.obs += len(batch)
@@ -333,6 +367,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		rep.Appends += res.appends
 		rep.Observations += res.obs
 		rep.Errors += res.errors
+		rep.Throttled += res.throttled
 		latencies = append(latencies, res.latencies...)
 	}
 	rep.WallSeconds = wall.Seconds()
@@ -348,7 +383,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// most valuable for exactly the runs that went wrong.
 		q0 := time.Now()
 		for _, task := range tasks {
-			status, body, err := doJSON(httpClient, http.MethodPost, base+task.name+"/quiesce", nil)
+			status, _, body, err := doJSON(httpClient, http.MethodPost, base+task.name+"/quiesce", nil)
 			if err != nil || status != http.StatusOK {
 				fmt.Fprintf(stderr, "copyload: quiesce %s: status=%d err=%v body=%s\n", task.name, status, err, body)
 				rep.Errors++
@@ -380,8 +415,8 @@ func printReport(w io.Writer, rep report) {
 		fmt.Fprintf(w, ", target rate %.1f appends/s", rep.TargetRate)
 	}
 	fmt.Fprintln(w)
-	fmt.Fprintf(w, "  %d appends (%d observations) in %.2fs — %.1f appends/s, %.0f obs/s, %d errors\n",
-		rep.Appends, rep.Observations, rep.WallSeconds, rep.AppendsPerSec, rep.ObsPerSec, rep.Errors)
+	fmt.Fprintf(w, "  %d appends (%d observations) in %.2fs — %.1f appends/s, %.0f obs/s, %d errors, %d throttled\n",
+		rep.Appends, rep.Observations, rep.WallSeconds, rep.AppendsPerSec, rep.ObsPerSec, rep.Errors, rep.Throttled)
 	if l := rep.AppendLatency; l != nil {
 		fmt.Fprintf(w, "  append latency ms: p50 %.2f  p90 %.2f  p99 %.2f  max %.2f  mean %.2f\n",
 			l.P50Millis, l.P90Millis, l.P99Millis, l.MaxMillis, l.MeanMillis)
@@ -393,28 +428,43 @@ func printReport(w io.Writer, rep report) {
 	}
 }
 
-// doJSON runs one JSON request and returns the status and raw body.
-func doJSON(client *http.Client, method, url string, body any) (int, []byte, error) {
+// doJSON runs one JSON request and returns the status, response
+// headers and raw body.
+func doJSON(client *http.Client, method, url string, body any) (int, http.Header, []byte, error) {
 	var rd io.Reader
 	if body != nil {
 		raw, err := json.Marshal(body)
 		if err != nil {
-			return 0, nil, err
+			return 0, nil, nil, err
 		}
 		rd = bytes.NewReader(raw)
 	}
 	req, err := http.NewRequest(method, url, rd)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
 	resp, err := client.Do(req)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
 	defer resp.Body.Close()
 	raw, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
-	return resp.StatusCode, raw, nil
+	return resp.StatusCode, resp.Header, raw, nil
+}
+
+// retryAfter converts a 429's Retry-After header into a wait: the
+// advertised delta-seconds when present, one second otherwise, clamped
+// so a misconfigured server cannot stall a load run arbitrarily long.
+func retryAfter(hdr http.Header) time.Duration {
+	d := time.Second
+	if secs, err := strconv.Atoi(strings.TrimSpace(hdr.Get("Retry-After"))); err == nil && secs >= 0 {
+		d = time.Duration(secs) * time.Second
+	}
+	if d > 10*time.Second {
+		d = 10 * time.Second
+	}
+	return d
 }

@@ -269,6 +269,95 @@ func TestQuiesceFailureStillReports(t *testing.T) {
 	}
 }
 
+// TestRetryAfter is table-driven over the header shapes a 429 can
+// carry: delta-seconds are honored (and clamped), everything else falls
+// back to the one-second default.
+func TestRetryAfter(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		value string
+		want  time.Duration
+	}{
+		{"absent", "", time.Second},
+		{"zero", "0", 0},
+		{"five-seconds", "5", 5 * time.Second},
+		{"padded", " 2 ", 2 * time.Second},
+		{"negative-falls-back", "-3", time.Second},
+		{"http-date-falls-back", "Fri, 08 Aug 2026 00:00:00 GMT", time.Second},
+		{"garbage-falls-back", "soon", time.Second},
+		{"huge-is-clamped", "3600", 10 * time.Second},
+	} {
+		hdr := http.Header{}
+		if tc.value != "" {
+			hdr.Set("Retry-After", tc.value)
+		}
+		if got := retryAfter(hdr); got != tc.want {
+			t.Errorf("%s: retryAfter(%q) = %v, want %v", tc.name, tc.value, got, tc.want)
+		}
+	}
+}
+
+// TestThrottledAppendsRetry: 429 is backpressure, not failure. Every
+// odd append attempt is refused with Retry-After; the run must retry
+// each refused batch in place, land every observation exactly once,
+// tally the refusals as throttled (not errors) and exit clean.
+func TestThrottledAppendsRetry(t *testing.T) {
+	reg := server.NewRegistry(server.Config{Options: core.Options{Workers: 1}})
+	defer reg.Close()
+	inner := server.NewHandler(reg)
+	var obsCalls int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/observations") && atomic.AddInt32(&obsCalls, 1)%2 == 1 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprintln(w, `{"error":"mirror queue over the high-water mark"}`)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-target", srv.URL, "-datasets", "2", "-clients", "2",
+		"-scale", "0.02", "-batch", "100", "-quiesce=false", "-json",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("throttled run exited %d, want 0; stderr:\n%s", code, stderr.String())
+	}
+	var rep report
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("bad JSON report %q: %v", stdout.String(), err)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("throttled batches counted as errors: %+v", rep)
+	}
+	if rep.Throttled == 0 || rep.Throttled != rep.Appends {
+		t.Errorf("throttled = %d, appends = %d; every batch was refused exactly once", rep.Throttled, rep.Appends)
+	}
+	if !strings.Contains(stdout.String(), `"throttled"`) {
+		t.Errorf("JSON report has no throttled field: %s", stdout.String())
+	}
+	// Every observation landed exactly once despite the refusals.
+	total := 0
+	for _, name := range reg.List() {
+		m, ok := reg.Get(name)
+		if !ok {
+			t.Fatalf("dataset %s missing", name)
+		}
+		total += int(m.Info().Version)
+	}
+	if total != rep.Appends {
+		t.Errorf("server holds %d appends, report claims %d", total, rep.Appends)
+	}
+
+	var text bytes.Buffer
+	printReport(&text, rep)
+	if !strings.Contains(text.String(), "throttled") {
+		t.Errorf("text report does not mention throttling:\n%s", text.String())
+	}
+}
+
 // TestRunAgainstDaemon streams a small workload into an in-process
 // daemon and checks the JSON report: every batch acknowledged, no
 // errors, convergence reached.

@@ -101,6 +101,22 @@
 // equivalence between a three-backend gateway and a single direct
 // daemon, through a mid-stream SIGKILL and readmission.
 //
+// # Observability
+//
+// Both daemons expose Prometheus-format metrics on GET /metrics
+// (internal/telemetry, stdlib-only): request rate/latency/in-flight by
+// route, per-dataset convergence lag, scheduler and mirror queue
+// depth, round durations, WAL fsync latency, backend health and
+// failover counters. Requests carry an X-Copydetect-Trace ID from the
+// gateway through the backends into asynchronous mirror deliveries,
+// tying one write's access-log lines together across processes. Both
+// daemons also admission-control appends: past a configurable
+// high-water mark (-append-high-water on copydetectd, convergence
+// backlog; -mirror-high-water on copygate, replica mirror queue) an
+// append is refused with 429 + Retry-After instead of queueing without
+// bound, and cmd/copyload honors the hint, retrying the batch and
+// reporting it as throttled rather than failed.
+//
 // # Quick start
 //
 //	b := copydetect.NewBuilder()

@@ -51,10 +51,24 @@ type Config struct {
 	// append is not idempotent at the version level.
 	Retries int
 
+	// MirrorHighWater is the admission-control bound on a dataset's
+	// mirror queue: an append arriving while the dataset already has at
+	// least this many mirror jobs queued (or in delivery) is refused
+	// with 429 + Retry-After instead of growing the backlog. 0 selects
+	// DefaultMirrorHighWater, negative disables admission control. It
+	// only matters with Replication >= 2 — without mirroring the queue
+	// is always empty.
+	MirrorHighWater int
+
 	// Transport overrides the outbound round tripper (tests inject
 	// failures here). nil uses http.DefaultTransport.
 	Transport http.RoundTripper
 }
+
+// DefaultMirrorHighWater is the default Config.MirrorHighWater: below
+// the per-dataset job channel's capacity, so admission control always
+// refuses before an enqueue could block the write path.
+const DefaultMirrorHighWater = 192
 
 // Gateway routes the copydetectd wire protocol across a fixed set of
 // backends: dataset-scoped requests go to the ring owner of the dataset
@@ -73,6 +87,13 @@ type Gateway struct {
 	readmitAfter int
 	retries      int
 	replication  int
+	mirrorHW     int // mirror-queue admission bound; 0 disables
+
+	// Operational counters, exposed by RegisterMetrics. Plain atomics
+	// so the hot paths pay one add whether or not telemetry is wired.
+	readRetries      atomic.Int64 // read re-attempts after transport failures
+	writeFailovers   atomic.Int64 // writes moved off the acting member
+	admissionRejects atomic.Int64 // appends refused with 429
 
 	dsMu sync.Mutex
 	ds   map[string]*dsState
@@ -145,6 +166,14 @@ func New(cfg Config) (*Gateway, error) {
 		g.retries = 0
 	} else if g.retries == 0 {
 		g.retries = 2
+	}
+	switch {
+	case cfg.MirrorHighWater < 0:
+		g.mirrorHW = 0
+	case cfg.MirrorHighWater == 0:
+		g.mirrorHW = DefaultMirrorHighWater
+	default:
+		g.mirrorHW = cfg.MirrorHighWater
 	}
 	// No client timeout: quiesce blocks for as long as convergence
 	// takes, and the incoming request's context already propagates
@@ -331,6 +360,7 @@ func (g *Gateway) serveRead(w http.ResponseWriter, req *http.Request, name strin
 		resp, err := g.client.Do(out)
 		if err != nil {
 			lastErr = err
+			g.readRetries.Add(1)
 			// One logical request counts at most one failure against a
 			// backend, however many retry attempts it burned — otherwise
 			// a single retried GET could run through the whole ejection
@@ -391,6 +421,19 @@ func (g *Gateway) serveWrite(w http.ResponseWriter, req *http.Request, name stri
 		ds.mu.Lock()
 	}
 	defer ds.mu.Unlock()
+	if g.mirrorHW > 0 && strings.HasSuffix(req.URL.Path, "/observations") &&
+		atomic.LoadInt64(&ds.queuedJobs) >= int64(g.mirrorHW) {
+		// Admission control: the dataset's replicas are not keeping up
+		// with its mirror stream. Refuse the append before the acting
+		// member applies it — queueing further would either block this
+		// write on a full channel or grow the backlog without bound.
+		g.admissionRejects.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests, fmt.Sprintf(
+			"cluster: dataset %q replica mirror queue is over the high-water mark (%d jobs queued)",
+			name, g.mirrorHW))
+		return
+	}
 	var lastErr error
 	failedOver := false
 	for pos := range members {
@@ -445,6 +488,7 @@ func (g *Gateway) serveWrite(w http.ResponseWriter, req *http.Request, name stri
 				break // gateway timeout: slow, not dead — no failover
 			}
 			failedOver = true
+			g.writeFailovers.Add(1)
 			continue
 		}
 		b.reportSuccess(g.readmitAfter, false)
@@ -464,6 +508,7 @@ func (g *Gateway) serveWrite(w http.ResponseWriter, req *http.Request, name stri
 				break
 			}
 			failedOver = true
+			g.writeFailovers.Add(1)
 			continue
 		}
 		ds.lastActing = pos

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"copydetect/internal/server"
+	"copydetect/internal/telemetry"
 )
 
 const (
@@ -36,10 +37,6 @@ const (
 	jobAttempts = 3
 	// jobBackoff separates those attempts.
 	jobBackoff = 50 * time.Millisecond
-	// jobTimeout bounds one replica-side request (append, export,
-	// import): replica work must never wedge the per-dataset queue the
-	// way a stalled backend otherwise could.
-	jobTimeout = 30 * time.Second
 	// flushTimeout bounds waiting for a dataset's replica queue to
 	// drain before a failover write or a quiesce proceeds.
 	flushTimeout = 60 * time.Second
@@ -58,6 +55,11 @@ const (
 	// unbounded memory for a struggling replica.
 	maxQueuedBytes = 64 << 20
 )
+
+// jobTimeout bounds one replica-side request (append, export, import):
+// replica work must never wedge the per-dataset queue the way a
+// stalled backend otherwise could. Variable for tests.
+var jobTimeout = 30 * time.Second
 
 // dsIdleRetire is how long a dataset's replication worker sits idle —
 // no jobs, no stale members — before it retires: the state is removed
@@ -84,6 +86,7 @@ type repJob struct {
 	seq    uint64 // jobAppend only
 	body   []byte
 	ctype  string
+	trace  string        // trace ID of the client write that spawned the job
 	done   chan struct{} // jobFlush only
 }
 
@@ -109,6 +112,11 @@ type dsState struct {
 	// queuedBytes tracks the body bytes sitting in jobs; bounded by
 	// maxQueuedBytes so a slow member cannot pin unbounded memory.
 	queuedBytes int64
+	// queuedJobs counts mirror jobs (jobVerbatim/jobAppend) enqueued
+	// but not yet fully processed — unlike len(jobs) it still counts a
+	// job the worker has popped and is delivering, so admission control
+	// sees in-flight work. Accessed atomically.
+	queuedJobs int64
 
 	stMu       sync.Mutex
 	stale      []bool // member is known to be behind (missed a write)
@@ -387,6 +395,7 @@ func (g *Gateway) dsWorker(ds *dsState) {
 				g.runReconcile(ds, j.pos)
 			default:
 				g.runMirror(ds, j)
+				atomic.AddInt64(&ds.queuedJobs, -1)
 			}
 			if n := int64(len(j.body)); n > 0 {
 				atomic.AddInt64(&ds.queuedBytes, -n)
@@ -478,6 +487,11 @@ func (g *Gateway) mirrorOnce(b *backend, j repJob) (int, error) {
 	}
 	if j.ctype != "" {
 		req.Header.Set("Content-Type", j.ctype)
+	}
+	if j.trace != "" {
+		// The mirror rides under the same trace ID as the client write
+		// it replicates, so one grep follows the write to every member.
+		req.Header.Set(telemetry.TraceHeader, j.trace)
 	}
 	if j.kind == jobAppend {
 		req.Header.Set(server.SeqHeader, strconv.FormatUint(j.seq, 10))
@@ -672,6 +686,7 @@ func (g *Gateway) afterWrite(ds *dsState, req *http.Request, served int, status 
 	}
 	path := req.URL.RequestURI()
 	ctype := req.Header.Get("Content-Type")
+	trace := req.Header.Get(telemetry.TraceHeader)
 	var template repJob
 	switch {
 	case req.Method == http.MethodPost && strings.HasSuffix(req.URL.Path, "/observations"):
@@ -704,6 +719,7 @@ func (g *Gateway) afterWrite(ds *dsState, req *http.Request, served int, status 
 	default:
 		return
 	}
+	template.trace = trace
 	size := int64(len(template.body))
 	for pos := range ds.members {
 		if pos == served {
@@ -718,6 +734,7 @@ func (g *Gateway) afterWrite(ds *dsState, req *http.Request, served int, status 
 			continue
 		}
 		atomic.AddInt64(&ds.queuedBytes, size)
+		atomic.AddInt64(&ds.queuedJobs, 1)
 		j := template
 		j.pos = pos
 		ds.enqueue(j)

@@ -65,6 +65,17 @@ const (
 // ceiling, which the blob must fit inside to be durable).
 const maxImportBytes = 1 << 28
 
+// maxBodyBytes bounds one JSON request body, matching the gateway's
+// maxWriteBody so a direct daemon append hits the same 413 a proxied
+// one would. A var so tests can exercise the limit without a 256 MiB
+// request.
+var maxBodyBytes int64 = 1 << 28
+
+// backlogRetryAfterSeconds is the Retry-After hint sent with 429
+// admission rejections: long enough for a detection round to publish
+// on small datasets, short enough that load generators keep pressure.
+const backlogRetryAfterSeconds = 1
+
 // createRequest optionally overrides registry defaults for one dataset.
 // Omitted (zero) fields inherit.
 type createRequest struct {
@@ -237,8 +248,8 @@ func (h *handler) list(w http.ResponseWriter) {
 
 func (h *handler) create(w http.ResponseWriter, req *http.Request, name string) {
 	var cr createRequest
-	if err := decodeBody(req, &cr); err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
+	if err := decodeBody(w, req, &cr); err != nil {
+		writeDecodeErr(w, err)
 		return
 	}
 	cfg := DatasetConfig{Workers: cr.Workers}
@@ -290,8 +301,8 @@ func (h *handler) append(w http.ResponseWriter, req *http.Request, name string) 
 		return
 	}
 	var ar appendRequest
-	if err := decodeBody(req, &ar); err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
+	if err := decodeBody(w, req, &ar); err != nil {
+		writeDecodeErr(w, err)
 		return
 	}
 	if len(ar.Observations) == 0 && len(ar.Truth) == 0 {
@@ -331,6 +342,12 @@ func (h *handler) append(w http.ResponseWriter, req *http.Request, name string) 
 		// appends and needs an anti-entropy import before it can accept
 		// the stream again.
 		writeErr(w, http.StatusConflict, err.Error())
+		return
+	case errors.Is(err, ErrBacklog):
+		// Admission control: convergence lag reached the high-water
+		// mark. Nothing was applied; the client should back off.
+		w.Header().Set("Retry-After", strconv.Itoa(backlogRetryAfterSeconds))
+		writeErr(w, http.StatusTooManyRequests, err.Error())
 		return
 	case err != nil:
 		// A durable registry refused the batch because it could not be
@@ -484,12 +501,28 @@ func (h *handler) quiesce(w http.ResponseWriter, req *http.Request, name string)
 	h.stats(w, name)
 }
 
-func decodeBody(req *http.Request, v any) error {
-	err := json.NewDecoder(req.Body).Decode(v)
+// decodeBody decodes a JSON request body capped at maxBodyBytes; the
+// cap matters because append bodies are buffered into the dataset
+// builder and the WAL, so an unbounded body is an unbounded
+// allocation.
+func decodeBody(w http.ResponseWriter, req *http.Request, v any) error {
+	err := json.NewDecoder(http.MaxBytesReader(w, req.Body, maxBodyBytes)).Decode(v)
 	if err == nil || errors.Is(err, io.EOF) {
 		return nil // an empty body means all defaults
 	}
 	return err
+}
+
+// writeDecodeErr maps a decodeBody failure: an over-limit body is 413
+// (matching the gateway's maxWriteBody behaviour), anything else is a
+// malformed request.
+func writeDecodeErr(w http.ResponseWriter, err error) {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		writeErr(w, http.StatusRequestEntityTooLarge, "request body exceeds the size limit")
+		return
+	}
+	writeErr(w, http.StatusBadRequest, err.Error())
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -1,0 +1,133 @@
+package server
+
+import (
+	"time"
+
+	"copydetect/internal/telemetry"
+)
+
+// instruments are the owned metrics the hot paths update. They live
+// behind an atomic pointer on the Registry because metrics registration
+// happens after Open (which may already be appending during recovery):
+// the hooks check the pointer at call time and cost one atomic load
+// when telemetry is off.
+type instruments struct {
+	roundDuration *telemetry.HistogramVec // algorithm
+	roundsTotal   *telemetry.CounterVec   // algorithm
+	walAppend     *telemetry.Histogram
+	walFsync      *telemetry.Histogram
+	admissionRej  *telemetry.Counter
+}
+
+// RegisterMetrics exposes the registry's operational state on t under
+// the copydetectd_ prefix: scheduler queue depth, in-flight rounds,
+// per-dataset convergence lag (both in pending appends and in seconds),
+// round durations and counts by algorithm, WAL append/fsync latency,
+// and admission rejections. Call it once, before serving /metrics.
+func (r *Registry) RegisterMetrics(t *telemetry.Registry) {
+	t.GaugeFunc("copydetectd_datasets",
+		"Datasets currently registered.", nil,
+		func(emit func(float64, ...string)) {
+			r.mu.Lock()
+			n := len(r.sets)
+			r.mu.Unlock()
+			emit(float64(n))
+		})
+	t.GaugeFunc("copydetectd_scheduler_queue_depth",
+		"Datasets dirty and waiting for (or re-queued behind) a detection round.", nil,
+		func(emit func(float64, ...string)) {
+			dirty := 0
+			for _, m := range r.snapshotSets() {
+				m.mu.Lock()
+				if m.dirty {
+					dirty++
+				}
+				m.mu.Unlock()
+			}
+			emit(float64(dirty))
+		})
+	t.GaugeFunc("copydetectd_rounds_inflight",
+		"Detection rounds currently running.", nil,
+		func(emit func(float64, ...string)) {
+			running := 0
+			for _, m := range r.snapshotSets() {
+				m.mu.Lock()
+				if m.running {
+					running++
+				}
+				m.mu.Unlock()
+			}
+			emit(float64(running))
+		})
+	t.GaugeFunc("copydetectd_dataset_convergence_lag_appends",
+		"Appends accepted but not yet covered by the published round, per dataset.",
+		[]string{"dataset"},
+		func(emit func(float64, ...string)) {
+			for _, m := range r.snapshotSets() {
+				m.mu.Lock()
+				lag := m.version
+				if m.pub != nil {
+					lag -= m.pub.Version
+				}
+				name := m.name
+				m.mu.Unlock()
+				emit(float64(lag), name)
+			}
+		})
+	t.GaugeFunc("copydetectd_dataset_convergence_lag_seconds",
+		"Age of the oldest append not yet covered by a completed round, per dataset (0 when converged).",
+		[]string{"dataset"},
+		func(emit func(float64, ...string)) {
+			for _, m := range r.snapshotSets() {
+				m.mu.Lock()
+				var lag float64
+				if !m.convergedLocked() && !m.lagSince.IsZero() {
+					lag = time.Since(m.lagSince).Seconds()
+				}
+				name := m.name
+				m.mu.Unlock()
+				emit(lag, name)
+			}
+		})
+
+	in := &instruments{
+		roundDuration: t.HistogramVec("copydetectd_round_duration_seconds",
+			"End-to-end detection round duration, by algorithm.",
+			telemetry.RoundBuckets, "algorithm"),
+		roundsTotal: t.CounterVec("copydetectd_rounds_total",
+			"Published detection rounds, by algorithm.", "algorithm"),
+		walAppend: t.Histogram("copydetectd_wal_append_seconds",
+			"WAL append latency (frame write plus any fsync).", nil),
+		walFsync: t.Histogram("copydetectd_wal_fsync_seconds",
+			"WAL fsync latency within appends (only observed with fsync on).", nil),
+		admissionRej: t.Counter("copydetectd_admission_rejections_total",
+			"Appends rejected with 429 because convergence lag exceeded the high-water mark."),
+	}
+	r.inst.Store(in)
+}
+
+// snapshotSets copies the current dataset list out from under r.mu so
+// collectors can visit each dataset's own lock without holding both.
+func (r *Registry) snapshotSets() []*Managed {
+	r.mu.Lock()
+	sets := make([]*Managed, 0, len(r.sets))
+	for _, m := range r.sets {
+		sets = append(sets, m)
+	}
+	r.mu.Unlock()
+	return sets
+}
+
+// observeWAL is the wal.Options.ObserveAppend hook for every dataset
+// store of this registry. It must stay cheap: it runs under the WAL
+// lock on the acknowledgement path.
+func (r *Registry) observeWAL(total, fsync time.Duration) {
+	in := r.inst.Load()
+	if in == nil {
+		return
+	}
+	in.walAppend.Observe(total.Seconds())
+	if fsync > 0 {
+		in.walFsync.Observe(fsync.Seconds())
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"copydetect/internal/bayes"
@@ -73,6 +74,13 @@ type Config struct {
 	// (and its WAL trimmed) after every SnapshotEvery published rounds
 	// (default 1). Only meaningful with DataDir.
 	SnapshotEvery int
+
+	// AppendHighWater, when positive, bounds per-dataset convergence
+	// lag: an unsequenced append (seq 0 — a client write, not
+	// replication traffic) is refused with ErrBacklog once the dataset
+	// has AppendHighWater or more accepted appends not yet covered by a
+	// published round. Zero or negative disables admission control.
+	AppendHighWater int
 }
 
 // ErrNotFound reports an unknown (or deleted) dataset name.
@@ -85,6 +93,12 @@ var ErrExists = fmt.Errorf("server: dataset already exists")
 // of the dataset: one or more earlier appends are missing, so applying
 // it would put the replica out of order with its primary.
 var ErrSeqGap = fmt.Errorf("server: append sequence gap")
+
+// ErrBacklog reports an append refused by admission control: the
+// dataset's convergence lag reached Config.AppendHighWater, so instead
+// of queueing without bound the caller should back off and retry (the
+// HTTP layer answers 429 with a Retry-After).
+var ErrBacklog = fmt.Errorf("server: dataset convergence backlog")
 
 // Published is the immutable outcome of one completed detection round.
 // Everything it points to is a snapshot: readers may use it without
@@ -123,6 +137,11 @@ type Managed struct {
 	running bool   // a round is in flight
 	closed  bool
 	cancel  chan struct{} // closes to abort the in-flight round
+	// lagSince is when the dataset last left the converged state — the
+	// arrival of the oldest append not yet covered by a published round.
+	// Telemetry reads it for the convergence-lag-seconds gauge; it is
+	// only meaningful while convergedLocked() is false.
+	lagSince time.Time
 
 	pub *Published
 
@@ -172,6 +191,9 @@ type Registry struct {
 	dataDir     string
 	fsync       bool
 	snapEvery   int
+	highWater   int // Config.AppendHighWater
+
+	inst atomic.Pointer[instruments] // set by RegisterMetrics, nil until then
 
 	mu     sync.Mutex
 	sets   map[string]*Managed
@@ -220,6 +242,7 @@ func Open(cfg Config) (*Registry, error) {
 		dataDir:     cfg.DataDir,
 		fsync:       cfg.Fsync,
 		snapEvery:   cfg.SnapshotEvery,
+		highWater:   cfg.AppendHighWater,
 		sets:        make(map[string]*Managed),
 		kick:        make(chan struct{}, 1),
 		stop:        make(chan struct{}),
@@ -268,7 +291,7 @@ func (r *Registry) recover() error {
 			discard(dir)
 			continue
 		}
-		m, err := recoverDataset(dir, r.fsync)
+		m, err := recoverDataset(dir, r.fsync, r.observeWAL)
 		if err != nil {
 			return err
 		}
@@ -375,7 +398,7 @@ func (r *Registry) Create(name string, cfg DatasetConfig) (*Managed, error) {
 			S:       params.S,
 			N:       params.N,
 			Workers: opts.Workers,
-		}, r.fsync)
+		}, r.fsync, r.observeWAL)
 		if err != nil {
 			r.gen--
 			return nil, err
@@ -613,6 +636,12 @@ func (m *Managed) Append(obs, truth []dataset.Record) (version uint64, total int
 // inflightLSN floor protects. Test-only.
 var testHookAfterWALAppend func(m *Managed)
 
+// testHookRoundStart, when non-nil, runs at the start of every
+// detection round, after the snapshot is taken and before detection
+// begins (no locks held). Tests block here to let convergence lag grow
+// deterministically past the admission high-water mark. Test-only.
+var testHookRoundStart func(m *Managed)
+
 // AppendSeq is Append with replay protection: seq, when non-zero,
 // asserts this batch is append number seq of the dataset. A batch whose
 // seq the dataset has already passed (version >= seq) is acknowledged
@@ -641,6 +670,23 @@ func (m *Managed) AppendSeq(obs, truth []dataset.Record, seq uint64) (version ui
 			cur := m.version
 			m.mu.Unlock()
 			return 0, 0, false, fmt.Errorf("%w: dataset %q is at version %d, batch claims sequence %d", ErrSeqGap, m.name, cur, seq)
+		}
+	}
+	if seq == 0 && m.reg.highWater > 0 {
+		// Admission control, for client writes only: sequenced appends
+		// are replication traffic already admitted at the gateway, and
+		// refusing them here would spuriously mark replicas stale.
+		lag := m.version
+		if m.pub != nil {
+			lag -= m.pub.Version
+		}
+		if lag >= uint64(m.reg.highWater) {
+			m.mu.Unlock()
+			if in := m.reg.inst.Load(); in != nil {
+				in.admissionRej.Inc()
+			}
+			return 0, 0, false, fmt.Errorf("%w: dataset %q has %d appends awaiting convergence (high-water %d)",
+				ErrBacklog, m.name, lag, m.reg.highWater)
 		}
 	}
 	var lsn uint64
@@ -674,6 +720,9 @@ func (m *Managed) AppendSeq(obs, truth []dataset.Record, seq uint64) (version ui
 			return 0, 0, false, ErrNotFound
 		}
 		m.pending = append(m.pending, verLSN{version: next, lsn: lsn})
+	}
+	if m.convergedLocked() {
+		m.lagSince = time.Now()
 	}
 	m.builder.AddRecords(obs)
 	for _, tr := range truth {
@@ -774,6 +823,9 @@ func (m *Managed) importState(ds *dataset.Dataset, version uint64, rounds int) (
 			return false, 0, ErrNotFound
 		}
 		m.pending = append(m.pending, verLSN{version: version, lsn: lsn})
+	}
+	if m.convergedLocked() {
+		m.lagSince = time.Now()
 	}
 	m.builder = dataset.NewBuilderFromDataset(ds)
 	m.version = version
@@ -901,6 +953,10 @@ func (m *Managed) runRound() {
 	}
 	m.mu.Unlock()
 
+	if testHookRoundStart != nil {
+		testHookRoundStart(m)
+	}
+
 	// params and opts are immutable after Create; no lock needed here.
 	tf := &fusion.TruthFinder{Params: m.params, Cancel: cancel}
 	start := time.Now()
@@ -928,6 +984,10 @@ func (m *Managed) runRound() {
 			Snapshot:  snap,
 			Outcome:   out,
 			Wall:      wall,
+		}
+		if in := m.reg.inst.Load(); in != nil {
+			in.roundDuration.With(algo).Observe(wall.Seconds())
+			in.roundsTotal.With(algo).Inc()
 		}
 		if m.st != nil {
 			m.sinceSnap++

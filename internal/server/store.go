@@ -442,8 +442,9 @@ func (st *dstore) pruneSnapshots(keep int) {
 // Create / recover plumbing (called from server.go with r.mu held)
 
 // newDatasetStore creates the on-disk layout for a fresh dataset and
-// opens its (empty) WAL.
-func newDatasetStore(dataDir string, cfg datasetConfig, fsync bool) (*dstore, error) {
+// opens its (empty) WAL. observe, when non-nil, receives the WAL
+// append/fsync timings (see wal.Options.ObserveAppend).
+func newDatasetStore(dataDir string, cfg datasetConfig, fsync bool, observe func(total, fsync time.Duration)) (*dstore, error) {
 	dir := filepath.Join(datasetsRoot(dataDir), encodeDirName(cfg.Name))
 	if err := os.MkdirAll(dir, 0o777); err != nil {
 		return nil, fmt.Errorf("server: create dataset dir: %w", err)
@@ -462,7 +463,7 @@ func newDatasetStore(dataDir string, cfg datasetConfig, fsync bool) (*dstore, er
 	if err := writeFileDurable(filepath.Join(dir, "config.json"), raw); err != nil {
 		return fail(fmt.Errorf("server: write dataset config: %w", err))
 	}
-	log, err := wal.Open(filepath.Join(dir, "wal"), wal.Options{Fsync: fsync, SegmentBytes: testWALSegmentBytes}, nil)
+	log, err := wal.Open(filepath.Join(dir, "wal"), wal.Options{Fsync: fsync, SegmentBytes: testWALSegmentBytes, ObserveAppend: observe}, nil)
 	if err != nil {
 		return fail(err)
 	}
@@ -476,7 +477,9 @@ func newDatasetStore(dataDir string, cfg datasetConfig, fsync bool) (*dstore, er
 // recoverDataset rebuilds one Managed from its directory: config,
 // newest snapshot, then the WAL tail. The returned Managed is fully
 // initialized except for its registry backref and condition variable.
-func recoverDataset(dir string, fsync bool) (*Managed, error) {
+// observe, when non-nil, receives WAL append/fsync timings for the
+// recovered log's future appends.
+func recoverDataset(dir string, fsync bool, observe func(total, fsync time.Duration)) (*Managed, error) {
 	raw, err := os.ReadFile(filepath.Join(dir, "config.json"))
 	if err != nil {
 		return nil, err
@@ -511,7 +514,7 @@ func recoverDataset(dir string, fsync bool) (*Managed, error) {
 	m.builder = builder
 
 	snapVersion := m.version
-	log, err := wal.Open(filepath.Join(dir, "wal"), wal.Options{Fsync: fsync, SegmentBytes: testWALSegmentBytes}, func(lsn uint64, payload []byte) error {
+	log, err := wal.Open(filepath.Join(dir, "wal"), wal.Options{Fsync: fsync, SegmentBytes: testWALSegmentBytes, ObserveAppend: observe}, func(lsn uint64, payload []byte) error {
 		rec, err := decodeWALRecord(payload)
 		if err != nil {
 			return err

@@ -30,6 +30,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 const (
@@ -60,6 +61,12 @@ type Options struct {
 	// so an acknowledged record survives power loss, not just process
 	// death. Without it the operating system flushes on its own schedule.
 	Fsync bool
+	// ObserveAppend, when non-nil, is called after every successful
+	// Append with the call's total duration and the portion spent in
+	// fsync (zero when Fsync is off). It runs with the log lock held and
+	// must be cheap and non-blocking — it exists to feed latency
+	// histograms, not to do work.
+	ObserveAppend func(total, fsync time.Duration)
 }
 
 // segment is one on-disk segment file; first is the LSN of its first
@@ -277,6 +284,7 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	if len(payload) > maxRecordBytes {
 		return 0, fmt.Errorf("wal: record of %d bytes exceeds the %d-byte limit", len(payload), maxRecordBytes)
 	}
+	start := time.Now()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
@@ -302,7 +310,9 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 		l.rollback()
 		return 0, fmt.Errorf("wal: %w", err)
 	}
+	var fsyncDur time.Duration
 	if l.opts.Fsync {
+		fsyncStart := time.Now()
 		if err := l.active.Sync(); err != nil {
 			// The record is written but not provably durable, and the
 			// LSN/size bookkeeping below will not run: roll it back so
@@ -310,11 +320,15 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 			l.rollback()
 			return 0, fmt.Errorf("wal: %w", err)
 		}
+		fsyncDur = time.Since(fsyncStart)
 	}
 	l.size += int64(len(buf))
 	lsn := l.next
 	l.next++
 	l.segments[len(l.segments)-1].next = l.next
+	if l.opts.ObserveAppend != nil {
+		l.opts.ObserveAppend(time.Since(start), fsyncDur)
+	}
 	return lsn, nil
 }
 

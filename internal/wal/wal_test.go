@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"testing"
+	"time"
 )
 
 // collect reopens the log at dir and gathers every replayed record.
@@ -363,5 +364,59 @@ func TestTrimBeforeAtExactSegmentBoundary(t *testing.T) {
 	}
 	if next := l2.NextLSN(); next != 8 {
 		t.Fatalf("NextLSN after reopen = %d, want 8", next)
+	}
+}
+
+func TestObserveAppendHook(t *testing.T) {
+	var totals, fsyncs []time.Duration
+	l, err := Open(t.TempDir(), Options{
+		Fsync: true,
+		ObserveAppend: func(total, fsync time.Duration) {
+			totals = append(totals, total)
+			fsyncs = append(fsyncs, fsync)
+		},
+	}, nil)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer l.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append([]byte("rec")); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if len(totals) != 3 {
+		t.Fatalf("observed %d appends, want 3", len(totals))
+	}
+	for i := range totals {
+		if totals[i] <= 0 {
+			t.Errorf("append %d: total duration %v, want > 0", i, totals[i])
+		}
+		if fsyncs[i] <= 0 {
+			t.Errorf("append %d: fsync duration %v, want > 0 with Fsync on", i, fsyncs[i])
+		}
+		if fsyncs[i] > totals[i] {
+			t.Errorf("append %d: fsync %v exceeds total %v", i, fsyncs[i], totals[i])
+		}
+	}
+
+	// Without Fsync the hook still fires, reporting zero fsync time.
+	var zeroFsyncs int
+	l2, err := Open(t.TempDir(), Options{
+		ObserveAppend: func(total, fsync time.Duration) {
+			if fsync == 0 {
+				zeroFsyncs++
+			}
+		},
+	}, nil)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer l2.Close()
+	if _, err := l2.Append([]byte("rec")); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if zeroFsyncs != 1 {
+		t.Fatalf("zero-fsync observations = %d, want 1", zeroFsyncs)
 	}
 }
