@@ -667,17 +667,14 @@ func TestClusterEquivalence(t *testing.T) {
 	}
 }
 
-// scrapeMetrics GETs a process's /metrics and parses every exposition
-// line — a malformed line anywhere fails the scrape.
+// scrapeMetrics GETs a process's /metrics via the shared scrape client
+// and parses every exposition line — a malformed line anywhere fails
+// the scrape.
 func scrapeMetrics(t *testing.T, client *http.Client, base string) []telemetry.Sample {
 	t.Helper()
-	status, raw, err := httpDo(client, http.MethodGet, base+"/metrics", nil)
-	if err != nil || status != http.StatusOK {
-		t.Fatalf("scrape %s/metrics: status=%d err=%v", base, status, err)
-	}
-	samples, err := telemetry.ParseLines(bytes.NewReader(raw))
+	samples, err := telemetry.Scrape(client, base)
 	if err != nil {
-		t.Fatalf("metrics from %s do not parse: %v\n%s", base, err, raw)
+		t.Fatalf("scrape: %v", err)
 	}
 	return samples
 }
@@ -685,19 +682,7 @@ func scrapeMetrics(t *testing.T, client *http.Client, base string) []telemetry.S
 // metricValue finds the first sample matching name and the given label
 // subset, summing nothing: vectors are matched per-child.
 func metricValue(samples []telemetry.Sample, name string, labels map[string]string) (float64, bool) {
-next:
-	for _, s := range samples {
-		if s.Name != name {
-			continue
-		}
-		for k, v := range labels {
-			if s.Labels[k] != v {
-				continue next
-			}
-		}
-		return s.Value, true
-	}
-	return 0, false
+	return telemetry.Value(samples, name, labels)
 }
 
 // healthzView is the subset of the gateway /healthz body the test

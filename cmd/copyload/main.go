@@ -25,6 +25,16 @@
 // "throttled" in the summary, so a run against an admission-controlled
 // daemon or gateway reports the pace the service chose rather than a
 // wall of errors.
+//
+// With -scenario file.json the flat loop is replaced by the declarative
+// scenario engine (internal/scenario): named phases with their own
+// rates, client mixes and bursts, zipfian dataset popularity, source
+// churn, failure injection against the -pids backends, phase-boundary
+// /metrics scrapes of the -scrape targets, and an SLO verdict — p99
+// append latency, zero 5xx during kill phases, convergence lag, and
+// detection precision/recall against the planted copier cliques —
+// emitted as machine-readable JSON (stdout, or the -verdict file).
+// Exit status 1 means the verdict failed; see examples/scenarios/.
 package main
 
 import (
@@ -59,6 +69,13 @@ type options struct {
 	quiesce  bool
 	jsonOut  bool
 	prefix   string
+
+	// Scenario mode (-scenario replaces the flat loop entirely).
+	scenario string
+	slo      string
+	verdict  string
+	scrape   string
+	pids     string
 }
 
 func parseFlags(args []string) (options, error) {
@@ -74,6 +91,11 @@ func parseFlags(args []string) (options, error) {
 	quiesce := fs.Bool("quiesce", true, "drive every dataset to convergence at the end and time it")
 	jsonOut := fs.Bool("json", false, "print the summary as JSON instead of text")
 	prefix := fs.String("prefix", "load", "dataset name prefix (dataset i is named <prefix>-<i>)")
+	scenarioPath := fs.String("scenario", "", "declarative scenario file (JSON); replaces the flat-rate loop")
+	sloPath := fs.String("slo", "", "SLO file (JSON) overriding the scenario's embedded slo block")
+	verdict := fs.String("verdict", "", "write the scenario verdict JSON to this file instead of stdout")
+	scrapeTargets := fs.String("scrape", "", "comma-separated /metrics base URLs scraped at phase boundaries (default: the target)")
+	pids := fs.String("pids", "", "comma-separated backend PIDs addressed by inject steps (backend 0 = first)")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
 	}
@@ -81,9 +103,16 @@ func parseFlags(args []string) (options, error) {
 		target: *target, datasets: *datasets, clients: *clients,
 		preset: *preset, scale: *scale, seed: *seed, batch: *batch,
 		rate: *rate, quiesce: *quiesce, jsonOut: *jsonOut, prefix: *prefix,
+		scenario: *scenarioPath, slo: *sloPath, verdict: *verdict,
+		scrape: *scrapeTargets, pids: *pids,
 	}
 	if opt.target == "" {
 		return options{}, fmt.Errorf("copyload: -target is required")
+	}
+	if opt.scenario != "" {
+		// Scenario mode: the file describes the workload; the flat-loop
+		// flags below don't apply and aren't validated.
+		return opt, nil
 	}
 	if opt.datasets < 1 || opt.clients < 1 || opt.batch < 1 {
 		return options{}, fmt.Errorf("copyload: -datasets, -clients and -batch must be at least 1")
@@ -245,6 +274,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintf(stderr, "%v\n", err)
 		return 2
+	}
+	if opt.scenario != "" {
+		return runScenario(opt, stdout, stderr)
 	}
 
 	// Generate the workloads up front so generation cost never pollutes

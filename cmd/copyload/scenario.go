@@ -1,0 +1,130 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"time"
+
+	"copydetect/internal/scenario"
+)
+
+// runScenario executes a declarative scenario file instead of the flat
+// flag-driven loop: phases with their own rates, client counts and
+// bursts, failure injection against the backend PIDs given with -pids,
+// phase-boundary /metrics scrapes of the -scrape targets, and an SLO
+// verdict written as JSON (stdout, or the -verdict file).
+func runScenario(opt options, stdout, stderr io.Writer) int {
+	spec, err := scenario.Load(opt.scenario)
+	if err != nil {
+		fmt.Fprintf(stderr, "copyload: %v\n", err)
+		return 2
+	}
+	slo := spec.SLO
+	if opt.slo != "" {
+		if slo, err = scenario.LoadSLO(opt.slo); err != nil {
+			fmt.Fprintf(stderr, "copyload: %v\n", err)
+			return 2
+		}
+	}
+	pids, err := parsePIDs(opt.pids)
+	if err != nil {
+		fmt.Fprintf(stderr, "copyload: %v\n", err)
+		return 2
+	}
+	r := &scenario.Runner{
+		Target:        opt.target,
+		Client:        &http.Client{Timeout: 60 * time.Second},
+		Injector:      &pidInjector{pids: pids},
+		ScrapeTargets: splitTargets(opt.scrape, opt.target),
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(stderr, "copyload: "+format+"\n", args...)
+		},
+	}
+	v, err := r.Run(context.Background(), spec, slo)
+	if err != nil {
+		fmt.Fprintf(stderr, "copyload: %v\n", err)
+		return 1
+	}
+	out := stdout
+	if opt.verdict != "" {
+		f, err := os.Create(opt.verdict)
+		if err != nil {
+			fmt.Fprintf(stderr, "copyload: %v\n", err)
+			return 1
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(stderr, "copyload: write %s: %v\n", opt.verdict, err)
+			}
+		}()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fmt.Fprintf(stderr, "copyload: %v\n", err)
+		return 1
+	}
+	if !v.Pass {
+		fmt.Fprintf(stderr, "copyload: scenario %q FAILED its SLO checks\n", v.Scenario)
+		return 1
+	}
+	return 0
+}
+
+func parsePIDs(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var pids []int
+	for _, part := range strings.Split(s, ",") {
+		pid, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || pid <= 0 {
+			return nil, fmt.Errorf("copyload: bad -pids entry %q", part)
+		}
+		pids = append(pids, pid)
+	}
+	return pids, nil
+}
+
+func splitTargets(s, fallback string) []string {
+	if s == "" {
+		return []string{fallback}
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// pidInjector realizes inject steps against backend processes
+// identified by position in -pids: kill-backend sends SIGKILL,
+// pause-backend/resume-backend SIGSTOP/SIGCONT, exec runs a command.
+type pidInjector struct {
+	pids []int
+}
+
+func (pi *pidInjector) Inject(ctx context.Context, step scenario.InjectStep) error {
+	if step.Action == "exec" {
+		cmd := exec.CommandContext(ctx, step.Cmd[0], step.Cmd[1:]...)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			return fmt.Errorf("exec %v: %w: %s", step.Cmd, err, out)
+		}
+		return nil
+	}
+	if step.Backend < 0 || step.Backend >= len(pi.pids) {
+		return fmt.Errorf("%s: backend %d but only %d pids given via -pids", step.Action, step.Backend, len(pi.pids))
+	}
+	return signalPID(pi.pids[step.Backend], step.Action)
+}

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package main
+
+import "fmt"
+
+// signalPID is unix-only: SIGSTOP/SIGCONT have no portable equivalent,
+// so scenario failure injection by PID is unsupported elsewhere.
+func signalPID(pid int, action string) error {
+	return fmt.Errorf("inject %s: PID signaling is unsupported on this platform", action)
+}

@@ -1,0 +1,26 @@
+//go:build unix
+
+package main
+
+import (
+	"fmt"
+	"syscall"
+)
+
+// signalPID delivers the signal an inject action means on unix:
+// kill-backend → SIGKILL (crash, no cleanup), pause-backend → SIGSTOP
+// (a stalled-but-alive replica), resume-backend → SIGCONT.
+func signalPID(pid int, action string) error {
+	var sig syscall.Signal
+	switch action {
+	case "kill-backend":
+		sig = syscall.SIGKILL
+	case "pause-backend":
+		sig = syscall.SIGSTOP
+	case "resume-backend":
+		sig = syscall.SIGCONT
+	default:
+		return fmt.Errorf("unknown inject action %q", action)
+	}
+	return syscall.Kill(pid, sig)
+}

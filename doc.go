@@ -101,6 +101,16 @@
 // equivalence between a three-backend gateway and a single direct
 // daemon, through a mid-stream SIGKILL and readmission.
 //
+// Beyond the flat-rate loop, copyload -scenario runs a declarative
+// workload (internal/scenario): JSON-specified phases with target
+// rates, traffic bursts, zipfian dataset popularity, source churn and
+// failure injections, judged against an SLO block — p99 append
+// latency, zero 5xx through backend kills, convergence time, and
+// detection precision/recall against the generator's planted copier
+// cliques — emitted as a machine-readable verdict. See
+// examples/scenarios and the "Workloads & soak testing" section of
+// DESIGN.md.
+//
 // # Observability
 //
 // Both daemons expose Prometheus-format metrics on GET /metrics

@@ -58,10 +58,3 @@ func main() {
 	}
 	fmt.Printf("identical truth decisions: %d / %d items\n", same, len(hybrid.Truth))
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -1,5 +1,7 @@
 package bayes
 
+import "math"
+
 // State carries the statistical knowledge that copy detection consumes and
 // truth finding produces each round: per-value truth probabilities P(D.v)
 // and per-source accuracies A(S).
@@ -79,16 +81,9 @@ func (st *State) ClampAccuracy(lo, hi float64) {
 func MaxAccuracyDelta(a, b *State) float64 {
 	d := 0.0
 	for s := range a.A {
-		if diff := abs(a.A[s] - b.A[s]); diff > d {
+		if diff := math.Abs(a.A[s] - b.A[s]); diff > d {
 			d = diff
 		}
 	}
 	return d
-}
-
-func abs(x float64) float64 {
-	if x < 0 {
-		return -x
-	}
-	return x
 }

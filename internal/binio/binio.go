@@ -140,14 +140,14 @@ func (r *Reader) Uvarint() uint64 {
 }
 
 // Int reads a count written by Writer.Int, failing on values beyond
-// max (guarding slice allocations against corrupt input).
-func (r *Reader) Int(max int) int {
+// limit (guarding slice allocations against corrupt input).
+func (r *Reader) Int(limit int) int {
 	x := r.Uvarint()
 	if r.err != nil {
 		return 0
 	}
-	if x > uint64(max) {
-		r.fail(fmt.Errorf("binio: count %d exceeds limit %d", x, max))
+	if x > uint64(limit) {
+		r.fail(fmt.Errorf("binio: count %d exceeds limit %d", x, limit))
 		return 0
 	}
 	return int(x)

@@ -338,8 +338,8 @@ func (d *Incremental) incrementalRound(ds *dataset.Dataset, st *bayes.State) *Re
 	// Rebase when drift overwhelms the incremental machinery: too many
 	// big-change entries, too many drifted accuracies, or "small" changes
 	// so large that the ∆ρ bounds cannot settle anything.
-	if len(bigEntries) > maxInt(64, len(d.idx.Entries)/20) ||
-		numBigAcc > maxInt(2, ds.NumSources()/50) ||
+	if len(bigEntries) > max(64, len(d.idx.Entries)/20) ||
+		numBigAcc > max(2, ds.NumSources()/50) ||
 		dRhoDec+dRhoInc > p.ThetaInd() {
 		d.LastPass.Rebased = true
 		d.prepare(ds, st, &res.Stats)
@@ -571,10 +571,3 @@ func (d *Incremental) emit(res *Result) {
 }
 
 func np(d *Incremental) int { return d.pm.Len() }
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

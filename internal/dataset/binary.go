@@ -58,17 +58,30 @@ func DecodeDataset(r *binio.Reader) (*Dataset, error) {
 	if m := r.String(); r.Err() == nil && m != binaryMagic {
 		return nil, fmt.Errorf("dataset: bad binary magic %q", m)
 	}
+	// The name tables must intern one id per declared entry: a repeated
+	// name would collapse to an earlier id, leaving the declared counts
+	// larger than the tables and every later index check meaningless.
+	// Well-formed encodings never repeat a name, so a collision is
+	// corruption, not data.
 	b := NewBuilder()
 	numSources := r.Int(maxDimension)
 	for i := 0; i < numSources && r.Err() == nil; i++ {
-		b.Source(r.String())
+		if name := r.String(); int(b.Source(name)) != i {
+			return nil, fmt.Errorf("dataset: duplicate source name %q in binary header", name)
+		}
 	}
 	numItems := r.Int(maxDimension)
 	for i := 0; i < numItems && r.Err() == nil; i++ {
-		d := b.Item(r.String())
+		name := r.String()
+		d := b.Item(name)
+		if int(d) != i {
+			return nil, fmt.Errorf("dataset: duplicate item name %q in binary header", name)
+		}
 		numValues := r.Int(maxItemValues)
 		for j := 0; j < numValues && r.Err() == nil; j++ {
-			b.Value(d, r.String())
+			if label := r.String(); int(b.Value(d, label)) != j {
+				return nil, fmt.Errorf("dataset: item %q repeats value %q in binary header", name, label)
+			}
 		}
 	}
 	numObs := r.Int(maxDimension)
@@ -79,11 +92,17 @@ func DecodeDataset(r *binio.Reader) (*Dataset, error) {
 		if int(s) >= numSources || int(d) >= numItems || s < 0 || d < 0 {
 			return nil, fmt.Errorf("dataset: binary observation %d references source %d item %d out of range", i, s, d)
 		}
+		if v < 0 || int(v) >= len(b.valueNames[d]) {
+			return nil, fmt.Errorf("dataset: binary observation %d references value %d of item %d out of range", i, v, d)
+		}
 		b.AddIDs(s, d, v)
 	}
 	if r.Bool() {
 		for d := 0; d < numItems && r.Err() == nil; d++ {
 			if v := ValueID(r.Uvarint()) - 1; v != NoValue {
+				if v < 0 || int(v) >= len(b.valueNames[d]) {
+					return nil, fmt.Errorf("dataset: binary truth of item %d references value %d out of range", d, v)
+				}
 				b.SetTruthIDs(ItemID(d), v)
 			}
 		}

@@ -77,6 +77,13 @@ type Planted struct {
 	// Pairs maps packed (copier, origin) source pairs (smaller id first)
 	// to true.
 	Pairs map[int64]bool
+	// Closure additionally contains every copier–copier pair within a
+	// clique: sources that copy the same origin share its values, so a
+	// detector that flags them as dependent is not wrong, merely
+	// transitive. Quality scoring uses Pairs for recall (every direct
+	// copy must be found) and Closure for precision (an intra-clique
+	// pair is not a false positive).
+	Closure map[int64]bool
 	// TrueAccuracy[s] is the accuracy parameter each source was generated
 	// with.
 	TrueAccuracy []float64
@@ -88,6 +95,15 @@ func (pl *Planted) PairPlanted(a, b dataset.SourceID) bool {
 		a, b = b, a
 	}
 	return pl.Pairs[int64(a)<<32|int64(uint32(b))]
+}
+
+// PairInClique reports whether a and b are members of the same planted
+// clique (the closure of PairPlanted over shared origins).
+func (pl *Planted) PairInClique(a, b dataset.SourceID) bool {
+	if a > b {
+		a, b = b, a
+	}
+	return pl.Closure[int64(a)<<32|int64(uint32(b))]
 }
 
 // Generate materializes the workload.
@@ -110,6 +126,7 @@ func Generate(cfg Config) (*dataset.Dataset, *Planted, error) {
 	ni, ns := cfg.NumItems, cfg.NumSources
 	pl := &Planted{
 		Pairs:        make(map[int64]bool),
+		Closure:      make(map[int64]bool),
 		TrueAccuracy: make([]float64, ns),
 	}
 
@@ -152,6 +169,7 @@ func Generate(cfg Config) (*dataset.Dataset, *Planted, error) {
 		if covFrac[origin] < minFrac {
 			covFrac[origin] = minFrac
 		}
+		members := []dataset.SourceID{dataset.SourceID(origin)}
 		for c := 0; c < g.Copiers; c++ {
 			s := next
 			next++
@@ -166,6 +184,16 @@ func Generate(cfg Config) (*dataset.Dataset, *Planted, error) {
 				a, b = b, a
 			}
 			pl.Pairs[int64(a)<<32|int64(uint32(b))] = true
+			members = append(members, dataset.SourceID(s))
+		}
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				a, b := members[i], members[j]
+				if a > b {
+					a, b = b, a
+				}
+				pl.Closure[int64(a)<<32|int64(uint32(b))] = true
+			}
 		}
 	}
 	copy(pl.TrueAccuracy, accuracy)

@@ -136,9 +136,9 @@ func Scale(cfg Config, f float64) Config {
 	}
 	out := cfg
 	if cfg.NumSources > 200 {
-		out.NumSources = maxI(8, int(math.Round(float64(cfg.NumSources)*f)))
+		out.NumSources = max(8, int(math.Round(float64(cfg.NumSources)*f)))
 	}
-	out.NumItems = maxI(16, int(math.Round(float64(cfg.NumItems)*f)))
+	out.NumItems = max(16, int(math.Round(float64(cfg.NumItems)*f)))
 	// Low-coverage fractions must stay meaningful: with fewer items, a
 	// 0.2% coverage would round to zero items, so floor them such that a
 	// source covers at least ~2 items.
@@ -163,11 +163,4 @@ func Scale(cfg Config, f float64) Config {
 		out.GoldItems = out.NumItems
 	}
 	return out
-}
-
-func maxI(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,87 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+
+	"copydetect/internal/dataset"
+)
+
+// This file holds the workload-shaping hooks of the scenario layer
+// (internal/scenario): zipfian dataset popularity and source churn.
+// Both are pure functions of their seeds, so a scenario run is as
+// reproducible as the datasets it streams.
+
+// ZipfWeights returns n popularity weights following a zipfian rank
+// distribution with exponent s: weight[i] ∝ 1/(i+1)^s, normalized to
+// sum to 1. Rank 0 is the most popular. s = 0 degenerates to uniform;
+// n <= 0 returns nil.
+func ZipfWeights(n int, s float64) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	w := make([]float64, n)
+	sum := 0.0
+	for i := range w {
+		w[i] = 1 / math.Pow(float64(i+1), s)
+		sum += w[i]
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w
+}
+
+// ChurnRecords partitions the records of ds into waves of joining
+// sources: wave 0 holds the founding cohort, and lateFraction of the
+// sources are held back and split evenly over waves 1..waves-1. A
+// scenario executor streams the waves in order, so late-wave sources
+// first appear mid-run — the new feeds of a churning fleet — while
+// early sources whose records are exhausted go quiet, which is the
+// other half of churn. Within a wave, records keep the source-major
+// order of dataset.Records; which sources are late is drawn from seed.
+//
+// waves <= 1 or lateFraction <= 0 yields a single wave containing
+// every record. At least one source always remains in wave 0.
+func ChurnRecords(ds *dataset.Dataset, waves int, lateFraction float64, seed int64) [][]dataset.Record {
+	ns := ds.NumSources()
+	if waves <= 1 || lateFraction <= 0 || ns < 2 {
+		return [][]dataset.Record{dataset.Records(ds)}
+	}
+	if lateFraction > 1 {
+		lateFraction = 1
+	}
+	late := int(math.Round(lateFraction * float64(ns)))
+	if late > ns-1 {
+		late = ns - 1 // wave 0 must keep at least one source
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(ns)
+
+	// perm[:ns-late] founds wave 0; the rest join one wave at a time.
+	waveOf := make([]int, ns)
+	for i, s := range perm {
+		if i < ns-late {
+			waveOf[s] = 0
+			continue
+		}
+		// Spread the late cohort evenly over waves 1..waves-1.
+		k := i - (ns - late)
+		waveOf[s] = 1 + k*(waves-1)/late
+	}
+	out := make([][]dataset.Record, waves)
+	for w := range out {
+		out[w] = []dataset.Record{}
+	}
+	for s, obs := range ds.BySource {
+		w := waveOf[s]
+		for _, o := range obs {
+			out[w] = append(out[w], dataset.Record{
+				Source: ds.SourceNames[s],
+				Item:   ds.ItemNames[o.Item],
+				Value:  ds.ValueNames[o.Item][o.Value],
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,238 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"copydetect/internal/dataset"
+)
+
+func TestZipfWeights(t *testing.T) {
+	if ZipfWeights(0, 1) != nil {
+		t.Error("n=0 must return nil")
+	}
+	uniform := ZipfWeights(4, 0)
+	for _, w := range uniform {
+		if math.Abs(w-0.25) > 1e-12 {
+			t.Fatalf("s=0 is not uniform: %v", uniform)
+		}
+	}
+	skewed := ZipfWeights(5, 1)
+	sum := 0.0
+	for i, w := range skewed {
+		sum += w
+		if i > 0 && w >= skewed[i-1] {
+			t.Fatalf("weights not decreasing: %v", skewed)
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("weights sum to %v, want 1", sum)
+	}
+	// s=1 harmonic: w0/w1 = 2.
+	if r := skewed[0] / skewed[1]; math.Abs(r-2) > 1e-9 {
+		t.Fatalf("rank-0/rank-1 ratio = %v, want 2", r)
+	}
+}
+
+func TestChurnRecordsPartition(t *testing.T) {
+	ds, _, err := Generate(Scale(Stock1Day(7), 0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := dataset.Records(ds)
+	waves := ChurnRecords(ds, 3, 0.4, 7)
+	if len(waves) != 3 {
+		t.Fatalf("got %d waves, want 3", len(waves))
+	}
+	if len(waves[0]) == 0 {
+		t.Fatal("founding cohort is empty")
+	}
+	total := 0
+	for _, w := range waves {
+		total += len(w)
+	}
+	if total != len(all) {
+		t.Fatalf("waves hold %d records, dataset has %d", total, len(all))
+	}
+	// Each source's records live in exactly one wave: replaying waves in
+	// order must keep per-source append order intact.
+	seen := map[string]int{}
+	for wi, w := range waves {
+		for _, rec := range w {
+			if prev, ok := seen[rec.Source]; ok && prev != wi {
+				t.Fatalf("source %s split across waves %d and %d", rec.Source, prev, wi)
+			}
+			seen[rec.Source] = wi
+		}
+	}
+	// Late cohort size follows the fraction (rounded over sources).
+	late := 0
+	for _, wi := range seen {
+		if wi > 0 {
+			late++
+		}
+	}
+	want := int(math.Round(0.4 * float64(ds.NumSources())))
+	if late != want {
+		t.Fatalf("late sources = %d, want %d", late, want)
+	}
+}
+
+func TestChurnRecordsDeterministic(t *testing.T) {
+	ds, _, err := Generate(Scale(Stock1Day(7), 0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := ChurnRecords(ds, 4, 0.5, 99)
+	b := ChurnRecords(ds, 4, 0.5, 99)
+	if len(a) != len(b) {
+		t.Fatal("wave count differs between runs")
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("wave %d size differs between runs", i)
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("wave %d record %d differs between runs", i, j)
+			}
+		}
+	}
+}
+
+func TestChurnRecordsDegenerate(t *testing.T) {
+	ds, _, err := Generate(Scale(Stock1Day(7), 0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := dataset.Records(ds)
+	for name, waves := range map[string][][]dataset.Record{
+		"one wave":      ChurnRecords(ds, 1, 0.5, 1),
+		"zero fraction": ChurnRecords(ds, 3, 0, 1),
+	} {
+		if len(waves) != 1 || len(waves[0]) != len(all) {
+			t.Errorf("%s: want a single full wave, got %d waves", name, len(waves))
+		}
+	}
+}
+
+// TestClosureContainsCliques pins the closure the quality gate scores
+// precision against: it contains every direct pair, plus the
+// copier–copier pairs inside each clique, and nothing else.
+func TestClosureContainsCliques(t *testing.T) {
+	_, pl, err := Generate(Scale(Stock1Day(3), 0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range pl.Pairs {
+		if !pl.Closure[k] {
+			t.Fatal("closure is missing a direct planted pair")
+		}
+	}
+	// Stock presets plant 6 cliques with 2,2,1,1,3,1 copiers:
+	// direct pairs = sum(copiers) = 10; closure = sum C(copiers+1, 2) = 15.
+	if len(pl.Pairs) != 10 || len(pl.Closure) != 15 {
+		t.Fatalf("pairs=%d closure=%d, want 10 and 15", len(pl.Pairs), len(pl.Closure))
+	}
+	found := false
+	for k := range pl.Closure {
+		a, b := dataset.SourceID(k>>32), dataset.SourceID(uint32(k))
+		if !pl.PairInClique(a, b) || !pl.PairInClique(b, a) {
+			t.Fatal("PairInClique must be order-invariant")
+		}
+		if !pl.Pairs[k] {
+			found = true // a genuine copier–copier transitive pair
+		}
+	}
+	if !found {
+		t.Fatal("closure adds no copier–copier pairs over the direct set")
+	}
+	if pl.PairInClique(1000, 1001) {
+		t.Error("unrelated pair reported in clique")
+	}
+}
+
+// TestScaleExtremes checks the CopyGroup coverage invariants far outside
+// the usual range: heavy shrink (f < 0.1) and heavy growth (f > 10)
+// must leave a config whose cliques still fit the source count, whose
+// low-coverage band still rounds to at least one item, and whose gold
+// standard still fits.
+func TestScaleExtremes(t *testing.T) {
+	presets := map[string]Config{
+		"book-cs":    BookCS(1),
+		"book-full":  BookFull(1),
+		"stock-1day": Stock1Day(1),
+		"stock-2wk":  Stock2Wk(1),
+	}
+	for name, base := range presets {
+		for _, f := range []float64{0.005, 0.01, 0.05, 12, 20} {
+			cfg := Scale(base, f)
+			if len(cfg.Groups) == 0 {
+				t.Errorf("%s ×%g: all copy groups dropped", name, f)
+			}
+			members := 0
+			for _, g := range cfg.Groups {
+				members += g.Copiers + 1
+			}
+			if members > cfg.NumSources {
+				t.Errorf("%s ×%g: %d clique members exceed %d sources", name, f, members, cfg.NumSources)
+			}
+			if cfg.LowCoverageMin*float64(cfg.NumItems) < 1 {
+				t.Errorf("%s ×%g: low coverage rounds to zero items", name, f)
+			}
+			if cfg.LowCoverageMax < cfg.LowCoverageMin {
+				t.Errorf("%s ×%g: inverted low-coverage band", name, f)
+			}
+			if cfg.GoldItems > cfg.NumItems {
+				t.Errorf("%s ×%g: gold standard larger than the dataset", name, f)
+			}
+		}
+	}
+}
+
+// TestPlantedSurvivesScale generates at several scales and asserts the
+// planted truth stays coherent: pairs exist, reference in-range
+// sources, and the closure stays a superset of the direct pairs.
+// Generation is kept to shrunken configs — the invariants do not need a
+// hundred-million-observation dataset to hold.
+func TestPlantedSurvivesScale(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"book-cs ×0.02", Scale(BookCS(11), 0.02)},
+		{"book-cs ×0.08", Scale(BookCS(11), 0.08)},
+		{"book-full ×0.005", Scale(BookFull(11), 0.005)},
+		{"stock-1day ×0.01", Scale(Stock1Day(11), 0.01)},
+		{"stock-2wk ×0.002", Scale(Stock2Wk(11), 0.002)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			ds, pl, err := Generate(c.cfg)
+			if err != nil {
+				t.Fatalf("generate: %v", err)
+			}
+			if err := ds.Validate(); err != nil {
+				t.Fatalf("dataset invalid: %v", err)
+			}
+			if len(pl.Pairs) == 0 {
+				t.Fatal("no planted pairs survived scaling")
+			}
+			n := dataset.SourceID(ds.NumSources())
+			for k := range pl.Closure {
+				a, b := dataset.SourceID(k>>32), dataset.SourceID(uint32(k))
+				if a >= b || b >= n {
+					t.Fatalf("closure pair (%d,%d) out of range or unordered (sources=%d)", a, b, n)
+				}
+			}
+			for k := range pl.Pairs {
+				if !pl.Closure[k] {
+					t.Fatal("closure lost a direct pair")
+				}
+			}
+			if len(pl.TrueAccuracy) != ds.NumSources() {
+				t.Fatalf("accuracy vector has %d entries for %d sources", len(pl.TrueAccuracy), ds.NumSources())
+			}
+		})
+	}
+}

@@ -1,0 +1,87 @@
+package scenario
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sort"
+)
+
+// copiesResult mirrors the daemon's GET /copies response (the subset
+// quality scoring needs).
+type copiesResult struct {
+	Algorithm string `json:"algorithm"`
+	Converged bool   `json:"converged"`
+	Pairs     []struct {
+		S1 string `json:"s1"`
+		S2 string `json:"s2"`
+	} `json:"pairs"`
+}
+
+// scoreQuality reads every dataset's detected copying pairs and scores
+// them against the planted truth, micro-averaged across datasets:
+// recall over the direct copier→origin pairs (gen.Planted.Pairs),
+// precision against the clique closure (gen.Planted.Closure) — a
+// detected copier–copier pair inside one clique is transitive evidence
+// of the same planted copying, not a false positive. Returns nil when
+// no dataset's results could be read.
+func (r *Runner) scoreQuality(ctx context.Context, client *http.Client, streams []*stream) *Quality {
+	q := &Quality{}
+	algos := map[string]bool{}
+	read := 0
+	for _, st := range streams {
+		status, _, body, err := doJSON(ctx, client, http.MethodGet,
+			r.Target+"/v1/datasets/"+st.name+"/copies", nil)
+		if err != nil || status != http.StatusOK {
+			r.logf("quality: read %s/copies: status=%d err=%v", st.name, status, err)
+			continue
+		}
+		var res copiesResult
+		if err := json.Unmarshal(body, &res); err != nil {
+			r.logf("quality: decode %s/copies: %v", st.name, err)
+			continue
+		}
+		read++
+		if res.Algorithm != "" {
+			algos[res.Algorithm] = true
+		}
+		dq := DatasetQuality{
+			Dataset:   st.name,
+			Algorithm: res.Algorithm,
+			Detected:  len(res.Pairs),
+			Planted:   len(st.planted.Pairs),
+		}
+		for _, pr := range res.Pairs {
+			a, okA := st.byName[pr.S1]
+			b, okB := st.byName[pr.S2]
+			if !okA || !okB {
+				continue // an unknown source name can match no planted pair
+			}
+			if st.planted.PairPlanted(a, b) {
+				dq.TruePosDirect++
+			}
+			if st.planted.PairInClique(a, b) {
+				dq.TruePosClique++
+			}
+		}
+		q.DetectedPairs += dq.Detected
+		q.PlantedPairs += dq.Planted
+		q.TruePosDirect += dq.TruePosDirect
+		q.TruePosClique += dq.TruePosClique
+		q.PerDataset = append(q.PerDataset, dq)
+	}
+	if read == 0 {
+		return nil
+	}
+	if q.DetectedPairs > 0 {
+		q.Precision = float64(q.TruePosClique) / float64(q.DetectedPairs)
+	}
+	if q.PlantedPairs > 0 {
+		q.Recall = float64(q.TruePosDirect) / float64(q.PlantedPairs)
+	}
+	for a := range algos {
+		q.Algorithms = append(q.Algorithms, a)
+	}
+	sort.Strings(q.Algorithms)
+	return q
+}

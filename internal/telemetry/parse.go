@@ -64,8 +64,11 @@ func parseSample(line string) (Sample, error) {
 		}
 		s.Name, rest = fields[0], fields[1]
 	}
-	if s.Name == "" {
-		return s, fmt.Errorf("empty metric name in %q", line)
+	// The registry's validName rule guards the parser too: without it,
+	// stray exposition syntax — a line like "} 0" — would parse as a
+	// metric named "}".
+	if !validName(s.Name) {
+		return s, fmt.Errorf("bad metric name %q in %q", s.Name, line)
 	}
 	v, err := parseValue(strings.TrimSpace(rest))
 	if err != nil {
@@ -82,6 +85,9 @@ func parseLabels(body string, into map[string]string) error {
 			return fmt.Errorf("malformed label in %q", body)
 		}
 		name := body[:eq]
+		if !validName(name) {
+			return fmt.Errorf("bad label name %q in %q", name, body)
+		}
 		rest := body[eq+2:]
 		var val strings.Builder
 		i := 0

@@ -1,0 +1,53 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// maxScrapeBytes bounds one /metrics response body; a scrape is a few
+// hundred lines, so anything near this is a misbehaving endpoint.
+const maxScrapeBytes = 8 << 20
+
+// Scrape GETs base+"/metrics" and parses every exposition line. It is
+// the one scrape client shared by the scenario soak harness and the
+// e2e tests, so "every line of /metrics parses" is asserted the same
+// way everywhere.
+func Scrape(client *http.Client, base string) ([]Sample, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("scrape %s/metrics: status %d: %s", base, resp.StatusCode, body)
+	}
+	samples, err := ParseLines(io.LimitReader(resp.Body, maxScrapeBytes))
+	if err != nil {
+		return nil, fmt.Errorf("scrape %s/metrics: %w", base, err)
+	}
+	return samples, nil
+}
+
+// Value returns the first sample named name whose labels contain every
+// pair of labels (a subset match; nil matches any sample of the name).
+func Value(samples []Sample, name string, labels map[string]string) (float64, bool) {
+next:
+	for _, s := range samples {
+		if s.Name != name {
+			continue
+		}
+		for k, v := range labels {
+			if s.Labels[k] != v {
+				continue next
+			}
+		}
+		return s.Value, true
+	}
+	return 0, false
+}

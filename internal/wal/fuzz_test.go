@@ -1,0 +1,78 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// frame encodes one record in the wire framing (length, CRC-32C,
+// payload) for seeding the fuzzer with well-formed segments.
+func frame(payload []byte) []byte {
+	var hdr [frameSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	return append(hdr[:], payload...)
+}
+
+// FuzzWALReplay treats the fuzz input as the on-disk bytes of the first
+// WAL segment and opens the log over it. Open must never panic and
+// never over-allocate on a hostile length prefix; when it does accept
+// the segment (possibly truncating a torn tail), the recovered state
+// must be stable: a second Open of the same directory must succeed and
+// replay exactly the same records.
+func FuzzWALReplay(f *testing.F) {
+	header := []byte(magic + string(rune(formatVersion)))
+	intact := append(append(append([]byte{}, header...), frame([]byte("alpha"))...), frame([]byte("beta"))...)
+	f.Add(intact)
+	f.Add(header)                           // empty segment
+	f.Add(intact[:len(intact)-3])           // torn tail: partial frame
+	f.Add(append([]byte{}, intact[:12]...)) // torn tail: partial header of first frame
+	corrupt := append([]byte{}, intact...)
+	corrupt[len(header)+frameSize] ^= 0xff // flip a payload byte -> CRC mismatch
+	f.Add(corrupt)
+	f.Add([]byte("not a wal segment at all"))
+	f.Add([]byte{})
+	huge := append(append([]byte{}, header...), 0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0) // 2GiB length prefix
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segmentName(1)), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var first [][]byte
+		log, err := Open(dir, Options{}, func(lsn uint64, payload []byte) error {
+			first = append(first, append([]byte{}, payload...))
+			return nil
+		})
+		if err != nil {
+			return // rejected; that's a fine answer to garbage
+		}
+		if err := log.Close(); err != nil {
+			t.Fatalf("close after successful open: %v", err)
+		}
+		// Recovery must be idempotent: whatever Open salvaged (and
+		// truncated) is now a clean log that opens again identically.
+		var second [][]byte
+		log, err = Open(dir, Options{}, func(lsn uint64, payload []byte) error {
+			second = append(second, append([]byte{}, payload...))
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("second open of a recovered log failed: %v", err)
+		}
+		defer log.Close()
+		if len(first) != len(second) {
+			t.Fatalf("replay changed between opens: %d then %d records", len(first), len(second))
+		}
+		for i := range first {
+			if !bytes.Equal(first[i], second[i]) {
+				t.Fatalf("record %d changed between opens", i)
+			}
+		}
+	})
+}
