@@ -172,6 +172,7 @@ func BenchmarkTable8_IncrementalRound(b *testing.B) {
 		inst := benchDataset(b, id)
 		b.Run(id+"/HYBRID", func(b *testing.B) {
 			det := &core.Hybrid{Params: p}
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				det.DetectRound(inst.ds, inst.st, 1)
 			}
@@ -181,6 +182,7 @@ func BenchmarkTable8_IncrementalRound(b *testing.B) {
 			// Warm rounds outside the measured loop.
 			det.DetectRound(inst.ds, inst.st, 1)
 			det.DetectRound(inst.ds, inst.st, 2)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				det.DetectRound(inst.ds, inst.st, 3+i)
@@ -307,7 +309,9 @@ func name(workers int) string {
 // Results are bit-identical across worker counts (see
 // internal/core/parallel_equiv_test.go), so the only thing this varies is
 // wall-clock time; the speedup at 4 workers is the cross-PR scaling
-// regression gauge.
+// regression gauge, and workers1 is the single-thread kernel gauge
+// (BENCH.md tracks both across PRs). ReportAllocs pins the warm-cache
+// allocation count even without -benchmem.
 func BenchmarkHybridWorkers(b *testing.B) {
 	p := bayes.DefaultParams()
 	inst := benchDataset(b, "stock-2wk")
@@ -315,6 +319,7 @@ func BenchmarkHybridWorkers(b *testing.B) {
 		b.Run(name(workers), func(b *testing.B) {
 			det := &core.Hybrid{Params: p, Opts: core.Options{Workers: workers}}
 			det.DetectRound(inst.ds, inst.st, 1) // warm the structural cache
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				det.DetectRound(inst.ds, inst.st, 2+i)
@@ -335,11 +340,30 @@ func BenchmarkIncrementalWorkers(b *testing.B) {
 			// Warm rounds outside the measured loop.
 			det.DetectRound(inst.ds, inst.st, 1)
 			det.DetectRound(inst.ds, inst.st, 2)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				det.DetectRound(inst.ds, inst.st, 3+i)
 			}
 		})
+	}
+}
+
+// BenchmarkIncrementalSteadyState is the zero-allocation configuration of
+// the serving loop: one worker, ReuseResult on, state unchanged between
+// rounds. TestIncrementalSteadyStateAllocs asserts the 0 allocs/op this
+// benchmark reports; together they keep the steady-state round GC-silent.
+func BenchmarkIncrementalSteadyState(b *testing.B) {
+	p := bayes.DefaultParams()
+	inst := benchDataset(b, "stock-2wk")
+	det := &core.Incremental{Params: p, Opts: core.Options{Workers: 1}, ReuseResult: true}
+	det.DetectRound(inst.ds, inst.st, 1)
+	det.DetectRound(inst.ds, inst.st, 2)
+	det.DetectRound(inst.ds, inst.st, 3) // one-time costs (result buffer)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.DetectRound(inst.ds, inst.st, 4+i)
 	}
 }
 

@@ -5,11 +5,15 @@
 //
 // Usage:
 //
-//	benchgate -old main.txt -new pr.txt [-max-regression 0.15] [-json FILE]
+//	benchgate -old main.txt -new pr.txt [-max-regression 0.15] [-max-alloc-regression 0.25] [-json FILE]
 //
 // Each file should come from the same benchmark set run with -count N
 // (N >= 3 recommended); benchgate takes the per-benchmark median, so a
-// single noisy iteration does not fail a build. benchstat remains the
+// single noisy iteration does not fail a build. When both runs carry
+// -benchmem columns, allocation counts are gated too: the geometric mean
+// of the per-benchmark (new+1)/(old+1) allocs/op ratios must stay within
+// -max-alloc-regression. The +1 damping keeps zero-allocation steady
+// states comparable while still flagging a 0 -> many regression. benchstat remains the
 // human-readable report; benchgate is the machine-checkable verdict.
 // With -json the verdict is additionally written as a machine-readable
 // report (per-benchmark medians and ratios, the geomean, and the
@@ -31,12 +35,19 @@ import (
 	"strconv"
 )
 
-var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9][0-9.eE+]*) ns/op`)
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9][0-9.eE+]*) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
 
-// parseBench collects the ns/op samples of every benchmark in a
-// `go test -bench` output.
-func parseBench(r io.Reader) (map[string][]float64, error) {
-	samples := make(map[string][]float64)
+// samples holds one benchmark's measurements across -count repetitions.
+// allocs is empty when the run lacked -benchmem.
+type samples struct {
+	ns     []float64
+	allocs []float64
+}
+
+// parseBench collects the ns/op (and, with -benchmem, allocs/op) samples
+// of every benchmark in a `go test -bench` output.
+func parseBench(r io.Reader) (map[string]*samples, error) {
+	out := make(map[string]*samples)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -48,9 +59,21 @@ func parseBench(r io.Reader) (map[string][]float64, error) {
 		if err != nil {
 			return nil, fmt.Errorf("benchgate: bad ns/op in %q: %w", sc.Text(), err)
 		}
-		samples[m[1]] = append(samples[m[1]], v)
+		s := out[m[1]]
+		if s == nil {
+			s = &samples{}
+			out[m[1]] = s
+		}
+		s.ns = append(s.ns, v)
+		if m[4] != "" {
+			a, err := strconv.ParseFloat(m[4], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchgate: bad allocs/op in %q: %w", sc.Text(), err)
+			}
+			s.allocs = append(s.allocs, a)
+		}
 	}
-	return samples, sc.Err()
+	return out, sc.Err()
 }
 
 func median(xs []float64) float64 {
@@ -63,21 +86,31 @@ func median(xs []float64) float64 {
 	return (s[n/2-1] + s[n/2]) / 2
 }
 
-// benchResult is one shared benchmark's comparison: median ns/op on
-// each side and their ratio (new/old; above 1 is a regression).
+// benchResult is one shared benchmark's comparison: median ns/op on each
+// side and their ratio (new/old; above 1 is a regression). When both runs
+// carry -benchmem data, the median allocs/op and their dampened ratio
+// (new+1)/(old+1) — well-defined at zero allocations — ride along.
 type benchResult struct {
-	Name    string  `json:"name"`
-	OldNsOp float64 `json:"oldNsOp"`
-	NewNsOp float64 `json:"newNsOp"`
-	Ratio   float64 `json:"ratio"`
+	Name        string  `json:"name"`
+	OldNsOp     float64 `json:"oldNsOp"`
+	NewNsOp     float64 `json:"newNsOp"`
+	Ratio       float64 `json:"ratio"`
+	OldAllocsOp float64 `json:"oldAllocsOp,omitempty"`
+	NewAllocsOp float64 `json:"newAllocsOp,omitempty"`
+	AllocRatio  float64 `json:"allocRatio,omitempty"`
 }
 
 // report is the machine-readable verdict (-json).
 type report struct {
-	Benchmarks    []benchResult `json:"benchmarks"`
-	GeomeanRatio  float64       `json:"geomeanRatio"`
-	MaxRegression float64       `json:"maxRegression"`
-	Pass          bool          `json:"pass"`
+	Benchmarks   []benchResult `json:"benchmarks"`
+	GeomeanRatio float64       `json:"geomeanRatio"`
+	// GeomeanAllocRatio is the geometric mean of the per-benchmark
+	// (new+1)/(old+1) allocs/op ratios, over the benchmarks measured with
+	// -benchmem on both sides; 0 when none were.
+	GeomeanAllocRatio  float64 `json:"geomeanAllocRatio,omitempty"`
+	MaxRegression      float64 `json:"maxRegression"`
+	MaxAllocRegression float64 `json:"maxAllocRegression,omitempty"`
+	Pass               bool    `json:"pass"`
 }
 
 // gate compares the two outputs across the benchmarks they share,
@@ -103,20 +136,38 @@ func gate(oldR, newR io.Reader, w io.Writer) (report, error) {
 	}
 	sort.Strings(names)
 	rep := report{Benchmarks: make([]benchResult, 0, len(names))}
-	fmt.Fprintf(w, "%-60s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "ratio")
+	fmt.Fprintf(w, "%-60s %14s %14s %8s %12s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "ratio", "allocs/op", "ratio")
 	logSum := 0.0
+	allocLogSum, allocCount := 0.0, 0
 	for _, name := range names {
-		o, n := median(oldS[name]), median(newS[name])
+		o, n := median(oldS[name].ns), median(newS[name].ns)
 		if o <= 0 || n <= 0 {
 			return report{}, fmt.Errorf("benchgate: non-positive median for %s", name)
 		}
 		ratio := n / o
 		logSum += math.Log(ratio)
-		rep.Benchmarks = append(rep.Benchmarks, benchResult{Name: name, OldNsOp: o, NewNsOp: n, Ratio: ratio})
-		fmt.Fprintf(w, "%-60s %14.0f %14.0f %8.3f\n", name, o, n, ratio)
+		row := benchResult{Name: name, OldNsOp: o, NewNsOp: n, Ratio: ratio}
+		allocCol := ""
+		if len(oldS[name].allocs) > 0 && len(newS[name].allocs) > 0 {
+			oa, na := median(oldS[name].allocs), median(newS[name].allocs)
+			// +1 damping keeps the ratio finite when the old side reached
+			// zero allocations, without hiding a 0 -> k regression.
+			ar := (na + 1) / (oa + 1)
+			row.OldAllocsOp, row.NewAllocsOp, row.AllocRatio = oa, na, ar
+			allocLogSum += math.Log(ar)
+			allocCount++
+			allocCol = fmt.Sprintf("%5.0f→%-5.0f %8.3f", oa, na, ar)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, row)
+		fmt.Fprintf(w, "%-60s %14.0f %14.0f %8.3f %s\n", name, o, n, ratio, allocCol)
 	}
 	rep.GeomeanRatio = math.Exp(logSum / float64(len(names)))
 	fmt.Fprintf(w, "\ngeomean ratio (new/old) over %d benchmarks: %.3f\n", len(names), rep.GeomeanRatio)
+	if allocCount > 0 {
+		rep.GeomeanAllocRatio = math.Exp(allocLogSum / float64(allocCount))
+		fmt.Fprintf(w, "geomean allocs/op ratio over %d benchmarks: %.3f\n", allocCount, rep.GeomeanAllocRatio)
+	}
 	return rep, nil
 }
 
@@ -130,8 +181,9 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	oldPath, newPath, jsonPath := "", "", ""
 	maxRegression := 0.15
+	maxAllocRegression := 0.25
 	usage := func() int {
-		fmt.Fprintf(stderr, "usage: benchgate -old FILE -new FILE [-max-regression 0.15] [-json FILE]\n")
+		fmt.Fprintf(stderr, "usage: benchgate -old FILE -new FILE [-max-regression 0.15] [-max-alloc-regression 0.25] [-json FILE]\n")
 		return 2
 	}
 	for i := 0; i < len(args); i++ {
@@ -156,6 +208,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 				return 2
 			}
 			maxRegression = v
+		case "-max-alloc-regression":
+			i++
+			v, err := strconv.ParseFloat(args[i], 64)
+			if err != nil {
+				fmt.Fprintf(stderr, "benchgate: bad -max-alloc-regression: %v\n", err)
+				return 2
+			}
+			maxAllocRegression = v
 		default:
 			return usage()
 		}
@@ -183,6 +243,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	rep.MaxRegression = maxRegression
 	rep.Pass = rep.GeomeanRatio <= 1+maxRegression
+	if rep.GeomeanAllocRatio > 0 {
+		// Allocation counts are gated only when both runs used -benchmem.
+		rep.MaxAllocRegression = maxAllocRegression
+		rep.Pass = rep.Pass && rep.GeomeanAllocRatio <= 1+maxAllocRegression
+	}
 	if jsonPath != "" {
 		raw, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
@@ -195,8 +260,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	if !rep.Pass {
-		fmt.Fprintf(stderr, "benchgate: FAIL: geomean %.3f exceeds the %.0f%% regression budget\n",
-			rep.GeomeanRatio, maxRegression*100)
+		fmt.Fprintf(stderr, "benchgate: FAIL: geomean %.3f (budget %.0f%%), allocs geomean %.3f (budget %.0f%%)\n",
+			rep.GeomeanRatio, maxRegression*100, rep.GeomeanAllocRatio, maxAllocRegression*100)
 		return 1
 	}
 	fmt.Fprintf(stdout, "benchgate: OK (budget %.0f%%)\n", maxRegression*100)

@@ -163,3 +163,96 @@ func TestGateErrors(t *testing.T) {
 		t.Error("empty runs accepted")
 	}
 }
+
+const oldRunMem = `
+BenchmarkHybridWorkers/workers1-8   3   1000000 ns/op   500000 B/op   4000 allocs/op
+BenchmarkHybridWorkers/workers1-8   3   1040000 ns/op   500000 B/op   4100 allocs/op
+BenchmarkHybridWorkers/workers1-8   3    960000 ns/op   500000 B/op   3900 allocs/op
+BenchmarkSteady-8                   3    500000 ns/op        0 B/op      0 allocs/op
+PASS
+`
+
+const newRunMem = `
+BenchmarkHybridWorkers/workers1-8   3   1000000 ns/op    90000 B/op      5 allocs/op
+BenchmarkSteady-8                   3    500000 ns/op        0 B/op      0 allocs/op
+PASS
+`
+
+const newRunMemRegressed = `
+BenchmarkHybridWorkers/workers1-8   3   1000000 ns/op   500000 B/op   4000 allocs/op
+BenchmarkSteady-8                   3    500000 ns/op    80000 B/op    900 allocs/op
+PASS
+`
+
+// TestGateAllocs: -benchmem columns feed a second geomean with +1-damped
+// ratios, so 0 allocs/op steady states compare cleanly.
+func TestGateAllocs(t *testing.T) {
+	var out bytes.Buffer
+	rep, err := gate(strings.NewReader(oldRunMem), strings.NewReader(newRunMem), &out)
+	if err != nil {
+		t.Fatalf("gate: %v", err)
+	}
+	if rep.Benchmarks[0].OldAllocsOp != 4000 || rep.Benchmarks[0].NewAllocsOp != 5 {
+		t.Fatalf("alloc medians = %+v", rep.Benchmarks[0])
+	}
+	// hybrid: (5+1)/(4000+1); steady: (0+1)/(0+1) = 1.
+	want := math.Sqrt(6.0 / 4001.0)
+	if math.Abs(rep.GeomeanAllocRatio-want) > 1e-9 {
+		t.Fatalf("alloc geomean = %v, want %v", rep.GeomeanAllocRatio, want)
+	}
+
+	// A 0 -> 900 regression on one benchmark must blow the alloc gate even
+	// though ns/op is unchanged.
+	rep, err = gate(strings.NewReader(oldRunMem), strings.NewReader(newRunMemRegressed), &out)
+	if err != nil {
+		t.Fatalf("gate: %v", err)
+	}
+	if rep.GeomeanRatio > 1.001 {
+		t.Fatalf("ns geomean = %v, want ~1", rep.GeomeanRatio)
+	}
+	if rep.GeomeanAllocRatio < 10 {
+		t.Fatalf("alloc geomean = %v, want the 0→900 regression to dominate", rep.GeomeanAllocRatio)
+	}
+}
+
+// TestRunGatesAllocRegression: the CLI must fail on an alloc-only
+// regression and record both budgets in the JSON verdict.
+func TestRunGatesAllocRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "main.txt")
+	newPath := filepath.Join(dir, "pr.txt")
+	jsonPath := filepath.Join(dir, "BENCH.json")
+	if err := os.WriteFile(oldPath, []byte(oldRunMem), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newPath, []byte(newRunMemRegressed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-old", oldPath, "-new", newPath, "-json", jsonPath}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("alloc regression exited %d, want 1; stderr:\n%s", code, stderr.String())
+	}
+	var rep report
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass || rep.MaxAllocRegression != 0.25 || rep.GeomeanAllocRatio < 10 {
+		t.Fatalf("report = %+v", rep)
+	}
+
+	// An allocation improvement passes with budget to spare.
+	if err := os.WriteFile(newPath, []byte(newRunMem), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-old", oldPath, "-new", newPath}, &stdout, &stderr); code != 0 {
+		t.Fatalf("alloc improvement exited %d, want 0; stderr:\n%s", code, stderr.String())
+	}
+	if code := run([]string{"-old", oldPath, "-new", newPath, "-max-alloc-regression", "x"}, &stdout, &stderr); code != 2 {
+		t.Fatal("bad -max-alloc-regression accepted")
+	}
+}

@@ -177,19 +177,28 @@ func (p Params) MaxEntryScore(pv float64, accs []float64) float64 {
 			j2 = i
 		}
 	}
+	// The contribution ln(1−s + s·u) is monotone in the likelihood ratio
+	// u = Pr(ΦD(S2))/Pr(ΦD|S1⊥S2), so the argmax over candidate pairs can
+	// be found on u directly and only the winner pays for a logarithm —
+	// one instead of twelve per entry, and this runs once per entry per
+	// round (see PERFORMANCE.md).
 	cand := [4]int{i1, i2, j1, j2}
-	best := math.Inf(-1)
+	bestU := math.Inf(-1)
 	for _, s1 := range cand {
 		for _, s2 := range cand {
 			if s1 == s2 {
 				continue
 			}
-			if c := p.ContribSame(pv, accs[s1], accs[s2]); c > best {
-				best = c
+			ind := p.PrIndepSame(pv, accs[s1], accs[s2])
+			if ind <= 0 {
+				return math.Inf(1)
+			}
+			if u := p.PrProvides(pv, accs[s2]) / ind; u > bestU {
+				bestU = u
 			}
 		}
 	}
-	return best
+	return math.Log(1 - p.S + p.S*bestU)
 }
 
 // extremes returns the minimum, second minimum and maximum of accs, which

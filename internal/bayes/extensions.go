@@ -62,19 +62,25 @@ func (p Params) MaxEntryScoreDist(pv, pop float64, accs []float64) float64 {
 			j2 = i
 		}
 	}
+	// Same argmax-on-the-ratio trick as MaxEntryScore: one logarithm per
+	// entry instead of one per candidate pair.
 	cand := [4]int{i1, i2, j1, j2}
-	best := math.Inf(-1)
+	bestU := math.Inf(-1)
 	for _, s1 := range cand {
 		for _, s2 := range cand {
 			if s1 == s2 {
 				continue
 			}
-			if c := p.ContribSameDist(pv, pop, accs[s1], accs[s2]); c > best {
-				best = c
+			ind := p.PrIndepSameDist(pv, pop, accs[s1], accs[s2])
+			if ind <= 0 {
+				return math.Inf(1)
+			}
+			if u := p.PrProvides(pv, accs[s2]) / ind; u > bestU {
+				bestU = u
 			}
 		}
 	}
-	return best
+	return math.Log(1 - p.S + p.S*bestU)
 }
 
 // DefaultCoverageCap bounds the coverage log-likelihood ratio so item-

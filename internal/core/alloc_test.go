@@ -1,0 +1,90 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestIncrementalSteadyStateAllocs: with ReuseResult set and one worker,
+// a steady-state incremental round must not allocate at all — every
+// buffer the three passes touch is preallocated when the detector
+// prepares, and the worker closures are built once. This is the
+// contract PERFORMANCE.md documents; any regression here shows up as a
+// fractional count.
+func TestIncrementalSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ds, st := randomInstance(rng, 10, 200)
+	p := exampleParams()
+	inc := &Incremental{Params: p, Opts: Options{Workers: 1}, ReuseResult: true}
+	inc.DetectRound(ds, st, 1)
+	inc.DetectRound(ds, st, 2)
+	inc.DetectRound(ds, st, 3) // first incremental round pays one-time costs
+
+	round := 4
+	if n := testing.AllocsPerRun(50, func() {
+		inc.DetectRound(ds, st, round)
+		round++
+	}); n > 0 {
+		t.Errorf("steady-state incremental round allocated %v times, want 0", n)
+	}
+}
+
+// TestIncrementalSteadyStateAllocsParallel: with several workers the pool
+// necessarily allocates a little per fan-out (channel, goroutine
+// closures), but the count must stay small and bounded — the per-pair and
+// per-entry work itself is allocation-free.
+func TestIncrementalSteadyStateAllocsParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ds, st := randomInstance(rng, 10, 200)
+	p := exampleParams()
+	inc := &Incremental{Params: p, Opts: Options{Workers: 4}, ReuseResult: true}
+	inc.DetectRound(ds, st, 1)
+	inc.DetectRound(ds, st, 2)
+	inc.DetectRound(ds, st, 3)
+
+	round := 4
+	if n := testing.AllocsPerRun(20, func() {
+		inc.DetectRound(ds, st, round)
+		round++
+	}); n > 64 {
+		t.Errorf("steady-state round at 4 workers allocated %v times, want <= 64 (pool fan-out only)", n)
+	}
+}
+
+// TestIncrementalReuseResultMatches: ReuseResult must change only the
+// allocation behaviour, never the numbers.
+func TestIncrementalReuseResultMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	ds, st := randomInstance(rng, 8, 100)
+	p := exampleParams()
+	a := &Incremental{Params: p}
+	b := &Incremental{Params: p, ReuseResult: true}
+	for round := 1; round <= 5; round++ {
+		ra := a.DetectRound(ds, st, round)
+		rb := b.DetectRound(ds, st, round)
+		if len(ra.Pairs) != len(rb.Pairs) {
+			t.Fatalf("round %d: pair counts differ", round)
+		}
+		for i := range ra.Pairs {
+			if ra.Pairs[i] != rb.Pairs[i] {
+				t.Fatalf("round %d pair %d: %+v != %+v", round, i, ra.Pairs[i], rb.Pairs[i])
+			}
+		}
+	}
+}
+
+// TestScanSteadyStateReuse: repeated rounds of the scan detectors against
+// a warm cache must allocate only the per-round Result and pair slice —
+// O(1) small allocations, not O(pairs) or O(entries).
+func TestScanSteadyStateReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	ds, st := randomInstance(rng, 10, 200)
+	p := exampleParams()
+	h := &Hybrid{Params: p, Opts: Options{Workers: 1}}
+	h.DetectRound(ds, st, 1)
+	if n := testing.AllocsPerRun(20, func() {
+		h.DetectRound(ds, st, 2)
+	}); n > 8 {
+		t.Errorf("warm HYBRID round allocated %v times, want <= 8 (Result + Pairs only)", n)
+	}
+}

@@ -2,7 +2,8 @@ package core
 
 import (
 	"math"
-	"sort"
+	"math/bits"
+	"slices"
 	"time"
 
 	"copydetect/internal/bayes"
@@ -47,6 +48,17 @@ import (
 // rebases: it recomputes exact base scores against the current state —
 // the analogue of the paper's periodic re-computation rounds.
 //
+// Steady-state rounds are allocation-free: every buffer the three passes
+// touch — entry deltas, per-pair delta accumulators, touched lists, pass
+// outputs, per-worker scratch — is preallocated when the detector
+// prepares, and the worker closures handed to the pool are built once and
+// fed their per-round inputs through fields. (With ReuseResult set, the
+// emitted Result reuses a buffer too, making the whole round zero-alloc
+// at Workers <= 1; see TestIncrementalSteadyStateAllocs.) Pass-3 exact
+// recomputation uses the structure's packed entry bitsets when available:
+// the pair's shared items and shared values are AND+popcount sweeps, and
+// only the set bits of the AND — the actual co-occurrences — are visited.
+//
 // Deviation from the paper, recorded in DESIGN.md: base scores are exact
 // rather than the Ĉ under-estimates derived from BOUND+ decision points.
 // This costs one exact index scan at the end of the warm phase and makes
@@ -69,30 +81,67 @@ type Incremental struct {
 	// WarmRounds is the number of initial HYBRID rounds (paper: 2).
 	// Zero selects 2.
 	WarmRounds int
+	// ReuseResult makes DetectRound return the same Result (and Pairs
+	// backing array) on every incremental round instead of allocating
+	// fresh ones. Callers that retain a returned Result past the next
+	// DetectRound call — iteration-history hooks, the serving layer —
+	// must leave it false.
+	ReuseResult bool
 
-	prepared  bool
-	warm      *Hybrid
-	idx       *index.Index
-	pm        *index.PairMap
-	l         []int32 // shared items per pair
-	n         []int32 // shared values per pair (constant across rounds)
-	base      *bayes.State
-	baseScore []float64 // per-entry M̂ at base
-	cTo       []float64 // exact full score C→ at base (incl. ln(1−s) term)
-	cFrom     []float64
-	copying   []bool
+	prepared bool
+	warm     *Hybrid
+	cache    structCache
 
-	// Per-round scratch, cleared via the touched list.
+	// Frozen at prepare time.
+	pm         *index.PairMap
+	l          []int32 // shared items per pair
+	n          []int32 // shared values per pair (constant across rounds)
+	base       *bayes.State
+	baseScore  []float64 // per-entry M̂ at base (aliases the view's Score)
+	cTo, cFrom []float64 // exact full score C→/C← at base (incl. ln(1−s) term)
+	copying    []bool
+	workers    int
+
+	// Per-round scratch, preallocated in prepare. The per-pair delta
+	// columns are cleared through the touched list after each round.
+	deltas, absDeltas  []float64
+	sigBuf             []float64
+	bigEntries         []int32
+	bigAcc             []bool
 	dNegTo, dPosTo     []float64
 	dNegFrom, dPosFrom []float64
 	smallDec, smallInc []int32 // per-pair counts of small-change shared entries
 	touched            []int32
 	isTouched          []bool
+	accBufs            [][]float64
+	touchedShards      [][]int32
+	passAComps         []int64
+	passOuts           []passOut
+	emitPairs          []PairResult
+	pairsBuf           []PairResult
+	resBuf             *Result
+
+	// Round inputs for the preallocated worker closures: building a
+	// closure per round would allocate (the pool entry points don't
+	// inline), so the closures are built once in prepare and read their
+	// inputs from here.
+	roundDS                    *dataset.Dataset
+	roundSt                    *bayes.State
+	roundRhoV                  float64
+	roundDRhoDec, roundDRhoInc float64
+	classifyFn, passAFn        func(w int)
+	passFn, emitFn             func(w int)
 
 	// LastPass describes the most recent incremental round, and History
 	// accumulates one entry per incremental round (Table VIII).
 	LastPass PassStats
 	History  []PassStats
+}
+
+// passOut collects one worker's pass counters and stats.
+type passOut struct {
+	pass  PassStats
+	stats Stats
 }
 
 // PassStats reports where pairs terminated during an incremental round.
@@ -108,8 +157,14 @@ type PassStats struct {
 // changes of the current round. Changes below the noise floor are ignored;
 // with no significant change it returns +Inf (nothing is "big").
 func adaptiveRhoV(absDeltas []float64) float64 {
+	return adaptiveRhoVInto(absDeltas, nil)
+}
+
+// adaptiveRhoVInto is adaptiveRhoV with a caller-owned scratch buffer
+// (capacity >= len(absDeltas) keeps it allocation-free).
+func adaptiveRhoVInto(absDeltas, buf []float64) float64 {
 	const noise = 1e-6
-	sig := make([]float64, 0, len(absDeltas))
+	sig := buf[:0]
 	for _, d := range absDeltas {
 		if d > noise {
 			sig = append(sig, d)
@@ -118,18 +173,22 @@ func adaptiveRhoV(absDeltas []float64) float64 {
 	if len(sig) == 0 {
 		return math.Inf(1)
 	}
-	sort.Sort(sort.Reverse(sort.Float64Slice(sig)))
+	slices.Sort(sig)
 	if len(sig) == 1 {
 		return sig[0]
 	}
-	bestGap, bestIdx := -1.0, 0
-	for i := 0; i+1 < len(sig); i++ {
-		if gap := sig[i] - sig[i+1]; gap > bestGap {
+	// Walk the significant changes from largest to smallest and return the
+	// upper element of the widest adjacent gap (first such gap wins, as in
+	// a descending scan).
+	bestGap := -1.0
+	best := sig[len(sig)-1]
+	for j := len(sig) - 1; j >= 1; j-- {
+		if gap := sig[j] - sig[j-1]; gap > bestGap {
 			bestGap = gap
-			bestIdx = i
+			best = sig[j]
 		}
 	}
-	return sig[bestIdx]
+	return best
 }
 
 func (d *Incremental) rhoA() float64 {
@@ -152,23 +211,21 @@ func (d *Incremental) Name() string { return "INCREMENTAL" }
 // Reset drops all cross-round state so the detector can serve a fresh
 // iterative process.
 func (d *Incremental) Reset() {
-	d.prepared = false
-	d.warm = nil
-	d.idx = nil
-	d.pm = nil
-	d.l, d.n = nil, nil
-	d.base = nil
-	d.baseScore = nil
-	d.cTo, d.cFrom = nil, nil
-	d.copying = nil
-	d.dNegTo, d.dPosTo, d.dNegFrom, d.dPosFrom = nil, nil, nil, nil
-	d.touched, d.isTouched = nil, nil
-	d.LastPass = PassStats{}
-	d.History = nil
+	*d = Incremental{
+		Params: d.Params, Opts: d.Opts, RhoV: d.RhoV, RhoA: d.RhoA,
+		WarmRounds: d.WarmRounds, ReuseResult: d.ReuseResult,
+	}
 }
 
 // DetectRound implements Detector.
 func (d *Incremental) DetectRound(ds *dataset.Dataset, st *bayes.State, round int) *Result {
+	if d.prepared && (d.cache.ds != ds || d.cache.gen != ds.Generation) {
+		// The dataset changed identity under a prepared detector (a new
+		// dataset may even reuse the old one's address — the Generation
+		// stamp catches that). The frozen index is meaningless for the new
+		// data; start over.
+		d.Reset()
+	}
 	if round <= d.warmRounds() {
 		if d.warm == nil {
 			d.warm = &Hybrid{Params: d.Params, Opts: d.Opts}
@@ -183,7 +240,7 @@ func (d *Incremental) DetectRound(ds *dataset.Dataset, st *bayes.State, round in
 	}
 	if !d.prepared {
 		// Caller skipped the warm rounds; fall back to preparing now.
-		res := &Result{NumSources: ds.NumSources()}
+		res := d.newResult(ds)
 		res.Stats.Rounds = 1
 		prepStart := time.Now()
 		d.prepare(ds, st, &res.Stats)
@@ -194,44 +251,85 @@ func (d *Incremental) DetectRound(ds *dataset.Dataset, st *bayes.State, round in
 	return d.incrementalRound(ds, st)
 }
 
-// prepare freezes the index against st and computes exact base scores and
-// decisions for every candidate pair.
-func (d *Incremental) prepare(ds *dataset.Dataset, st *bayes.State, stats *Stats) {
-	d.idx = index.Build(ds, st, d.Params, index.ByContribution, nil)
-	d.pm = index.CandidatePairs(d.idx, ds.NumSources())
-	d.l = index.SharedItemCounts(ds, d.pm)
-	np := d.pm.Len()
-	d.n = make([]int32, np)
-	d.cTo = make([]float64, np)
-	d.cFrom = make([]float64, np)
-	d.copying = make([]bool, np)
-	d.baseScore = make([]float64, len(d.idx.Entries))
-	d.base = st.Clone()
+// newResult returns the Result to fill this round: a fresh one, or (with
+// ReuseResult) the detector-owned buffer.
+func (d *Incremental) newResult(ds *dataset.Dataset) *Result {
+	if !d.ReuseResult {
+		return &Result{NumSources: ds.NumSources()}
+	}
+	if d.resBuf == nil {
+		d.resBuf = &Result{}
+	}
+	*d.resBuf = Result{NumSources: ds.NumSources()}
+	return d.resBuf
+}
 
+// grow returns s resized to n elements, reusing capacity when possible.
+// Contents are unspecified; callers clear what they need cleared.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// growList returns an empty list with capacity at least n.
+func growList[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, 0, n)
+	}
+	return s[:0]
+}
+
+// prepare freezes the index against st and computes exact base scores and
+// decisions for every candidate pair. It also (re)builds every per-round
+// scratch buffer and the worker closures, so the rounds that follow
+// allocate nothing.
+func (d *Incremental) prepare(ds *dataset.Dataset, st *bayes.State, stats *Stats) {
 	p := d.Params
-	if p.CoverageWeight > 0 {
-		for slot := 0; slot < np; slot++ {
-			s1, s2 := d.pm.Key(int32(slot)).Sources()
-			cov := p.CoverageWeight * p.CoverageLLR(int(d.l[slot]),
-				ds.Coverage(s1), ds.Coverage(s2), ds.NumItems(), p.CoverageCap)
-			d.cTo[slot] = cov
-			d.cFrom[slot] = cov
+	str := d.cache.structures(ds)
+	v := d.cache.view
+	v.Rescore(st, p, index.ByContribution, nil)
+	if d.pm == nil {
+		d.pm = index.NewPairMap(ds.NumSources())
+	}
+	index.CandidatePairsInto(v, d.pm)
+	numPairs := d.pm.Len()
+
+	d.l = grow(d.l, numPairs)
+	for slot, key := range d.pm.Keys() {
+		s1, s2 := key.Sources()
+		if all := d.cache.pmAll.Get(s1, s2); all >= 0 {
+			d.l[slot] = d.cache.lAll[all]
+		} else {
+			d.l[slot] = int32(ds.SharedItems(s1, s2))
 		}
 	}
-	for i := range d.idx.Entries {
-		d.baseScore[i] = d.idx.Entries[i].Score
-	}
+	d.n = grow(d.n, numPairs)
+	clear(d.n)
+	d.cTo = grow(d.cTo, numPairs)
+	d.cFrom = grow(d.cFrom, numPairs)
+	d.copying = grow(d.copying, numPairs)
+	d.baseScore = v.Score // frozen until the next prepare rescales the view
+	d.base = st.Clone()
+
 	// The exact base-score accumulation is the same double loop as the
 	// entry scan, so it shards the same way: each worker owns the pairs
 	// whose smaller source id falls in its shard and visits the entries in
-	// index order, making the per-slot sums bit-identical to a sequential
-	// pass for every worker count.
+	// a fixed order, making the per-slot products bit-identical to a
+	// sequential pass for every worker count. The directional evidence
+	// accumulates as a renormalized product (accum.go); the pairTab columns
+	// of the cache provide the accumulators.
 	workers := pool.Clamp(d.Opts.Workers)
+	d.workers = workers
+	tab := &d.cache.tab
+	tab.reset(numPairs)
+	numEntries := str.NumEntries()
 	for _, comps := range pool.Shards(workers, func(w int) int64 {
 		var comps int64
-		for i := range d.idx.Entries {
-			e := &d.idx.Entries[i]
-			provs := e.Providers
+		for e := 0; e < numEntries; e++ {
+			provs := str.Providers(int32(e))
+			pv, pop := v.P[e], v.Pop[e]
 			for x := 0; x < len(provs); x++ {
 				if !pool.Owns(workers, w, int(provs[x])) {
 					continue
@@ -241,8 +339,9 @@ func (d *Incremental) prepare(ds *dataset.Dataset, st *bayes.State, stats *Stats
 					if slot < 0 {
 						continue
 					}
-					d.cTo[slot] += p.ContribSameDist(e.P, e.Pop, st.A[provs[x]], st.A[provs[y]])
-					d.cFrom[slot] += p.ContribSameDist(e.P, e.Pop, st.A[provs[y]], st.A[provs[x]])
+					mulContrib(p, pv, pop, st.A[provs[x]], st.A[provs[y]],
+						&tab.mantTo[slot], &tab.expTo[slot],
+						&tab.mantFrom[slot], &tab.expFrom[slot])
 					d.n[slot]++
 					comps += 2
 				}
@@ -254,134 +353,146 @@ func (d *Incremental) prepare(ds *dataset.Dataset, st *bayes.State, stats *Stats
 	}
 	lnDiff := p.LnDiff()
 	pool.Run(workers, func(w int) {
-		for slot := w; slot < np; slot += workers {
-			diff := float64(d.l[slot] - d.n[slot])
-			d.cTo[slot] += diff * lnDiff
-			d.cFrom[slot] += diff * lnDiff
+		for slot := w; slot < numPairs; slot += workers {
+			s1, s2 := d.pm.Key(int32(slot)).Sources()
+			cov := 0.0
+			if p.CoverageWeight > 0 {
+				// Footnote-1 extension: include the coverage evidence in the
+				// base scores, as the scan detectors do.
+				cov = p.CoverageWeight * p.CoverageLLR(int(d.l[slot]),
+					ds.Coverage(s1), ds.Coverage(s2), ds.NumItems(), p.CoverageCap)
+			}
+			corr := cov + float64(d.l[slot]-d.n[slot])*lnDiff
+			d.cTo[slot] = logAcc(tab.mantTo[slot], tab.expTo[slot]) + corr
+			d.cFrom[slot] = logAcc(tab.mantFrom[slot], tab.expFrom[slot]) + corr
 			d.copying[slot] = p.PrIndep(d.cTo[slot], d.cFrom[slot]) <= 0.5
 		}
 	})
-	stats.Computations += 2 * int64(np)
-	d.dNegTo = make([]float64, np)
-	d.dPosTo = make([]float64, np)
-	d.dNegFrom = make([]float64, np)
-	d.dPosFrom = make([]float64, np)
-	d.smallDec = make([]int32, np)
-	d.smallInc = make([]int32, np)
-	d.isTouched = make([]bool, np)
-	d.touched = d.touched[:0]
+	stats.Computations += 2 * int64(numPairs)
+
+	// Per-round scratch, preallocated so steady-state rounds stay
+	// allocation-free.
+	d.deltas = grow(d.deltas, numEntries)
+	d.absDeltas = grow(d.absDeltas, numEntries)
+	d.sigBuf = growList(d.sigBuf, numEntries)
+	d.bigEntries = growList(d.bigEntries, numEntries)
+	d.bigAcc = grow(d.bigAcc, ds.NumSources())
+	d.dNegTo = grow(d.dNegTo, numPairs)
+	d.dPosTo = grow(d.dPosTo, numPairs)
+	d.dNegFrom = grow(d.dNegFrom, numPairs)
+	d.dPosFrom = grow(d.dPosFrom, numPairs)
+	clear(d.dNegTo)
+	clear(d.dPosTo)
+	clear(d.dNegFrom)
+	clear(d.dPosFrom)
+	d.smallDec = grow(d.smallDec, numPairs)
+	d.smallInc = grow(d.smallInc, numPairs)
+	clear(d.smallDec)
+	clear(d.smallInc)
+	d.isTouched = grow(d.isTouched, numPairs)
+	clear(d.isTouched)
+	d.touched = growList(d.touched, numPairs)
+	if len(d.accBufs) < workers {
+		d.accBufs = make([][]float64, workers)
+	}
+	for w := range d.accBufs {
+		d.accBufs[w] = growList(d.accBufs[w], max(str.MaxProviders, 2))
+	}
+	if len(d.touchedShards) < workers {
+		d.touchedShards = make([][]int32, workers)
+	}
+	for w := 0; w < workers; w++ {
+		d.touchedShards[w] = growList(d.touchedShards[w], numPairs)
+	}
+	d.passAComps = grow(d.passAComps, workers)
+	d.passOuts = grow(d.passOuts, workers)
+	if d.History == nil {
+		d.History = make([]PassStats, 0, 1024)
+	}
+	d.buildClosures()
 	d.prepared = true
 }
 
-// incrementalRound performs the three-pass refinement of Section V.
-func (d *Incremental) incrementalRound(ds *dataset.Dataset, st *bayes.State) *Result {
-	p := d.Params
-	res := &Result{NumSources: ds.NumSources()}
-	res.Stats.Rounds = 1
-	start := time.Now()
-	d.LastPass = PassStats{}
+// mulContrib folds one co-occurrence into both directional slot
+// accumulators, mirroring two ContribSameDist calls (see prodAccum.mulSame
+// for the pair-at-a-time twin).
+func mulContrib(p bayes.Params, pv, pop, a1, a2 float64,
+	mTo *float64, eTo *int32, mFrom *float64, eFrom *int32) {
+	if pop <= 0 {
+		pop = 1 / p.N
+	}
+	omPv := 1 - pv
+	om1, om2 := 1-a1, 1-a2
+	ind := pv*a1*a2 + omPv*om1*om2*pop
+	if ind <= 0 {
+		*mTo, *mFrom = math.Inf(1), math.Inf(1)
+		return
+	}
+	inv := p.S / ind
+	*mTo, *eTo = mulRenorm(*mTo, *eTo, 1-p.S+(pv*a2+omPv*om2)*inv)
+	*mFrom, *eFrom = mulRenorm(*mFrom, *eFrom, 1-p.S+(pv*a1+omPv*om1)*inv)
+}
 
+// buildClosures constructs the worker functions once per prepare. They
+// read their per-round inputs (current state, thresholds, ∆ρ estimates)
+// from detector fields, so incremental rounds never build a closure.
+func (d *Incremental) buildClosures() {
 	// Entry classification: drift of M̂ since the base, holding provider
 	// accuracies at their base values to isolate value-probability change.
 	// Each entry's drift is a pure function of the entry, so workers take
 	// a strided slice of the entry range and write disjoint slots.
-	workers := pool.Clamp(d.Opts.Workers)
-	deltas := make([]float64, len(d.idx.Entries))
-	absDeltas := make([]float64, len(d.idx.Entries))
-	pool.Run(workers, func(w int) {
-		accBuf := make([]float64, 0, 16)
-		for i := w; i < len(d.idx.Entries); i += workers {
-			e := &d.idx.Entries[i]
+	d.classifyFn = func(w int) {
+		p := d.Params
+		str := d.cache.str
+		v := d.cache.view
+		st := d.roundSt
+		accBuf := d.accBufs[w]
+		numEntries := str.NumEntries()
+		for i := w; i < numEntries; i += d.workers {
 			accBuf = accBuf[:0]
-			for _, s := range e.Providers {
+			for _, s := range str.Providers(int32(i)) {
 				accBuf = append(accBuf, d.base.A[s])
 			}
-			pNew := st.P[e.Item][e.Value]
-			deltas[i] = p.MaxEntryScoreDist(pNew, e.Pop, accBuf) - d.baseScore[i]
-			absDeltas[i] = math.Abs(deltas[i])
+			pNew := st.P[str.Item[i]][str.Val[i]]
+			d.deltas[i] = p.MaxEntryScoreDist(pNew, v.Pop[i], accBuf) - d.baseScore[i]
+			d.absDeltas[i] = math.Abs(d.deltas[i])
 		}
-	})
-	res.Stats.Computations += int64(len(d.idx.Entries))
-	rhoV := d.RhoV
-	if rhoV == 0 {
-		rhoV = adaptiveRhoV(absDeltas)
-	}
-	var bigEntries []int32
-	dRhoDec, dRhoInc := 0.0, 0.0
-	for i, delta := range deltas {
-		switch {
-		case absDeltas[i] >= rhoV:
-			bigEntries = append(bigEntries, int32(i))
-		case delta < 0:
-			if -delta > dRhoDec {
-				dRhoDec = -delta
-			}
-		case delta > 0:
-			if delta > dRhoInc {
-				dRhoInc = delta
-			}
-		}
-	}
-	d.LastPass.BigEntries = len(bigEntries)
-
-	// Accuracy drift since the base.
-	rhoA := d.rhoA()
-	bigAcc := make([]bool, ds.NumSources())
-	numBigAcc := 0
-	for s := range bigAcc {
-		if math.Abs(st.A[s]-d.base.A[s]) >= rhoA {
-			bigAcc[s] = true
-			numBigAcc++
-		}
-	}
-
-	// Rebase when drift overwhelms the incremental machinery: too many
-	// big-change entries, too many drifted accuracies, or "small" changes
-	// so large that the ∆ρ bounds cannot settle anything.
-	if len(bigEntries) > max(64, len(d.idx.Entries)/20) ||
-		numBigAcc > max(2, ds.NumSources()/50) ||
-		dRhoDec+dRhoInc > p.ThetaInd() {
-		d.LastPass.Rebased = true
-		d.prepare(ds, st, &res.Stats)
-		d.LastPass.SettledPass3 = d.pm.Len()
-		d.History = append(d.History, d.LastPass)
-		d.emit(res)
-		res.Stats.Detect = time.Since(start)
-		return res
 	}
 
 	// Pass A: scan the drifted entries once. Big-change entries contribute
 	// exact per-pair deltas, sign-separated per direction; small-change
 	// entries only bump per-pair counters (|E̅↘| and |E̅↗| of Section
-	// V-B), so the ∆ρ estimates below multiply the true counts rather than
-	// the pair's total shared values. Entries whose score did not move at
-	// all (the vast majority after convergence sets in) are skipped.
-	// Parallel: the per-pair delta accumulators shard exactly like the
-	// entry scan (owner = smaller source id mod workers, entries visited
-	// in index order), and each worker collects the pairs it touched into
-	// a private list merged in shard order afterwards.
-	const noise = 1e-6
-	type passADelta struct {
-		touched []int32
-		comps   int64
-	}
-	for _, sh := range pool.Shards(workers, func(w int) passADelta {
-		var sh passADelta
-		for i := range d.idx.Entries {
-			if absDeltas[i] <= noise {
+	// V-B), so the ∆ρ estimates multiply the true counts rather than the
+	// pair's total shared values. Entries whose score did not move at all
+	// (the vast majority after convergence sets in) are skipped. The
+	// per-pair delta accumulators shard exactly like the entry scan
+	// (owner = smaller source id mod workers), and each worker collects
+	// the pairs it touched into a private list merged in shard order.
+	d.passAFn = func(w int) {
+		const noise = 1e-6
+		p := d.Params
+		str := d.cache.str
+		v := d.cache.view
+		st := d.roundSt
+		rhoV := d.roundRhoV
+		touched := d.touchedShards[w][:0]
+		var comps int64
+		numEntries := str.NumEntries()
+		for i := 0; i < numEntries; i++ {
+			if d.absDeltas[i] <= noise {
 				continue
 			}
-			big := absDeltas[i] >= rhoV
-			e := &d.idx.Entries[i]
-			provs := e.Providers
-			var pOld, pNew float64
+			big := d.absDeltas[i] >= rhoV
+			provs := str.Providers(int32(i))
+			var pOld, pNew, pop float64
 			if big {
-				pOld = d.base.P[e.Item][e.Value]
-				pNew = st.P[e.Item][e.Value]
+				pOld = d.base.P[str.Item[i]][str.Val[i]]
+				pNew = st.P[str.Item[i]][str.Val[i]]
+				pop = v.Pop[i]
 			}
-			dec := deltas[i] < 0
+			dec := d.deltas[i] < 0
 			for x := 0; x < len(provs); x++ {
-				if !pool.Owns(workers, w, int(provs[x])) {
+				if !pool.Owns(d.workers, w, int(provs[x])) {
 					continue
 				}
 				for y := x + 1; y < len(provs); y++ {
@@ -391,7 +502,7 @@ func (d *Incremental) incrementalRound(ds *dataset.Dataset, st *bayes.State) *Re
 					}
 					if !d.isTouched[slot] {
 						d.isTouched[slot] = true
-						sh.touched = append(sh.touched, slot)
+						touched = append(touched, slot)
 					}
 					if !big {
 						if dec {
@@ -402,9 +513,9 @@ func (d *Incremental) incrementalRound(ds *dataset.Dataset, st *bayes.State) *Re
 						continue
 					}
 					a1, a2 := d.base.A[provs[x]], d.base.A[provs[y]]
-					dTo := p.ContribSameDist(pNew, e.Pop, a1, a2) - p.ContribSameDist(pOld, e.Pop, a1, a2)
-					dFrom := p.ContribSameDist(pNew, e.Pop, a2, a1) - p.ContribSameDist(pOld, e.Pop, a2, a1)
-					sh.comps += 2
+					dTo := p.ContribSameDist(pNew, pop, a1, a2) - p.ContribSameDist(pOld, pop, a1, a2)
+					dFrom := p.ContribSameDist(pNew, pop, a2, a1) - p.ContribSameDist(pOld, pop, a2, a1)
+					comps += 2
 					if dTo < 0 {
 						d.dNegTo[slot] += dTo
 					} else {
@@ -418,26 +529,24 @@ func (d *Incremental) incrementalRound(ds *dataset.Dataset, st *bayes.State) *Re
 				}
 			}
 		}
-		return sh
-	}) {
-		d.touched = append(d.touched, sh.touched...)
-		res.Stats.Computations += sh.comps
+		d.touchedShards[w] = touched
+		d.passAComps[w] = comps
 	}
 
 	// Passes 1–3 per pair. Pairs are independent here — each reads only
 	// its own slot state and writes only its own decision — so workers
 	// take a strided slice of the slot range; pass counters and stats are
 	// accumulated per worker and summed in shard order.
-	thetaCp, thetaInd := p.ThetaCp(), p.ThetaInd()
-	type passOut struct {
-		pass  PassStats
-		stats Stats
-	}
-	for _, sh := range pool.Shards(workers, func(w int) passOut {
-		var out passOut
-		for slot := w; slot < np(d); slot += workers {
+	d.passFn = func(w int) {
+		p := d.Params
+		thetaCp, thetaInd := p.ThetaCp(), p.ThetaInd()
+		dRhoDec, dRhoInc := d.roundDRhoDec, d.roundDRhoInc
+		out := &d.passOuts[w]
+		*out = passOut{}
+		numPairs := d.pm.Len()
+		for slot := w; slot < numPairs; slot += d.workers {
 			s1, s2 := d.pm.Key(int32(slot)).Sources()
-			needExact := bigAcc[s1] || bigAcc[s2]
+			needExact := d.bigAcc[s1] || d.bigAcc[s2]
 			if !needExact {
 				decBound := dRhoDec * float64(d.smallDec[slot])
 				incBound := dRhoInc * float64(d.smallInc[slot])
@@ -479,11 +588,104 @@ func (d *Incremental) incrementalRound(ds *dataset.Dataset, st *bayes.State) *Re
 			}
 			// Pass 3: exact recomputation against the current state.
 			out.pass.SettledPass3++
-			cTo, cFrom := d.exactPair(ds, st, s1, s2, &out.stats)
+			cTo, cFrom := d.exactPair(d.roundDS, d.roundSt, s1, s2, &out.stats)
 			d.copying[slot], _, _, _ = decide(p, cTo, cFrom)
 		}
-		return out
-	}) {
+	}
+
+	// emit materializes the per-pair results from the stored decisions and
+	// the best available score estimates. The output slice is indexed by
+	// pair slot, so the strided parallel fill yields the same ordering as
+	// a sequential walk for every worker count.
+	d.emitFn = func(w int) {
+		p := d.Params
+		pairs := d.emitPairs
+		for slot := w; slot < len(pairs); slot += d.workers {
+			s1, s2 := d.pm.Key(int32(slot)).Sources()
+			cTo := d.cTo[slot] + d.dNegTo[slot] + d.dPosTo[slot]
+			cFrom := d.cFrom[slot] + d.dNegFrom[slot] + d.dPosFrom[slot]
+			prIndep, prTo, prFrom := p.Posterior(cTo, cFrom)
+			pairs[slot] = PairResult{
+				S1: s1, S2: s2, CTo: cTo, CFrom: cFrom,
+				PrIndep: prIndep, PrTo: prTo, PrFrom: prFrom,
+				Copying: d.copying[slot],
+			}
+		}
+	}
+}
+
+// incrementalRound performs the three-pass refinement of Section V.
+func (d *Incremental) incrementalRound(ds *dataset.Dataset, st *bayes.State) *Result {
+	p := d.Params
+	res := d.newResult(ds)
+	res.Stats.Rounds = 1
+	start := time.Now()
+	d.LastPass = PassStats{}
+	d.roundDS, d.roundSt = ds, st
+
+	numEntries := d.cache.str.NumEntries()
+	pool.Run(d.workers, d.classifyFn)
+	res.Stats.Computations += int64(numEntries)
+
+	rhoV := d.RhoV
+	if rhoV == 0 {
+		rhoV = adaptiveRhoVInto(d.absDeltas, d.sigBuf)
+	}
+	d.roundRhoV = rhoV
+	d.bigEntries = d.bigEntries[:0]
+	dRhoDec, dRhoInc := 0.0, 0.0
+	for i, delta := range d.deltas {
+		switch {
+		case d.absDeltas[i] >= rhoV:
+			d.bigEntries = append(d.bigEntries, int32(i))
+		case delta < 0:
+			if -delta > dRhoDec {
+				dRhoDec = -delta
+			}
+		case delta > 0:
+			if delta > dRhoInc {
+				dRhoInc = delta
+			}
+		}
+	}
+	d.LastPass.BigEntries = len(d.bigEntries)
+	d.roundDRhoDec, d.roundDRhoInc = dRhoDec, dRhoInc
+
+	// Accuracy drift since the base.
+	rhoA := d.rhoA()
+	numBigAcc := 0
+	for s := range d.bigAcc {
+		big := math.Abs(st.A[s]-d.base.A[s]) >= rhoA
+		d.bigAcc[s] = big
+		if big {
+			numBigAcc++
+		}
+	}
+
+	// Rebase when drift overwhelms the incremental machinery: too many
+	// big-change entries, too many drifted accuracies, or "small" changes
+	// so large that the ∆ρ bounds cannot settle anything.
+	if len(d.bigEntries) > max(64, numEntries/20) ||
+		numBigAcc > max(2, ds.NumSources()/50) ||
+		dRhoDec+dRhoInc > p.ThetaInd() {
+		d.LastPass.Rebased = true
+		d.prepare(ds, st, &res.Stats)
+		d.LastPass.SettledPass3 = d.pm.Len()
+		d.History = append(d.History, d.LastPass)
+		d.emit(res)
+		res.Stats.Detect = time.Since(start)
+		return res
+	}
+
+	pool.Run(d.workers, d.passAFn)
+	for w := 0; w < d.workers; w++ {
+		d.touched = append(d.touched, d.touchedShards[w]...)
+		res.Stats.Computations += d.passAComps[w]
+	}
+
+	pool.Run(d.workers, d.passFn)
+	for w := 0; w < d.workers; w++ {
+		sh := &d.passOuts[w]
 		d.LastPass.SettledPass1 += sh.pass.SettledPass1
 		d.LastPass.SettledPass2 += sh.pass.SettledPass2
 		d.LastPass.SettledPass3 += sh.pass.SettledPass3
@@ -492,7 +694,8 @@ func (d *Incremental) incrementalRound(ds *dataset.Dataset, st *bayes.State) *Re
 
 	d.emit(res)
 
-	// Clear scratch.
+	// Clear scratch through the touched list — only the slots this round
+	// actually dirtied.
 	for _, slot := range d.touched {
 		d.dNegTo[slot], d.dPosTo[slot] = 0, 0
 		d.dNegFrom[slot], d.dPosFrom[slot] = 0, 0
@@ -505,13 +708,71 @@ func (d *Incremental) incrementalRound(ds *dataset.Dataset, st *bayes.State) *Re
 	return res
 }
 
-// exactPair recomputes the full scores of one pair with current state by
-// merging the two observation lists (the cost the passes try to avoid).
+// exactPair recomputes the full scores of one pair with current state —
+// the cost the passes try to avoid. With entry bitsets available the
+// shared items and shared values are AND+popcount sweeps and only actual
+// co-occurrences are visited; otherwise it merges the two observation
+// lists. Both paths visit the same co-occurrences in the same (item-major)
+// order and accumulate identically, so their results are bit-equal
+// (TestExactPairBitsMatchesMerge).
 func (d *Incremental) exactPair(ds *dataset.Dataset, st *bayes.State, s1, s2 dataset.SourceID, stats *Stats) (cTo, cFrom float64) {
-	p := d.Params
-	lnDiff := p.LnDiff()
-	a, b := ds.BySource[s1], ds.BySource[s2]
+	if str := d.cache.str; str != nil && str.EntryBits != nil {
+		return exactPairBits(d.Params, str, ds, st, s1, s2, stats)
+	}
+	return exactPairMerge(d.Params, ds, st, s1, s2, stats)
+}
+
+// exactPairBits is the bitset path of exactPair: l(S1,S2) and the shared
+// entries come from word-parallel ANDs of the per-source bitsets, and the
+// contribution loop iterates only the set bits of EntryBits[s1] ∧
+// EntryBits[s2] — ascending entry id, which is item-major order, matching
+// the merge path. The set-bit iteration is inlined (no callback) to stay
+// allocation-free.
+func exactPairBits(p bayes.Params, str *index.Structure, ds *dataset.Dataset, st *bayes.State,
+	s1, s2 dataset.SourceID, stats *Stats) (cTo, cFrom float64) {
+
+	ib1, ib2 := str.ItemBits[s1], str.ItemBits[s2]
 	nShared := 0
+	for wi := range ib1 {
+		nShared += bits.OnesCount64(ib1[wi] & ib2[wi])
+	}
+	a1, a2 := st.A[s1], st.A[s2]
+	ac := newProdAccum()
+	n0 := 0
+	eb1, eb2 := str.EntryBits[s1], str.EntryBits[s2]
+	for wi := range eb1 {
+		word := eb1[wi] & eb2[wi]
+		base := wi << 6
+		for word != 0 {
+			e := base + bits.TrailingZeros64(word)
+			word &= word - 1
+			n0++
+			item, val := str.Item[e], str.Val[e]
+			pv := st.P[item][val]
+			pop := st.PopOf(int32(item), int32(val))
+			ac.mulSame(p, pv, pop, a1, a2)
+		}
+	}
+	stats.ValuesExamined += int64(n0)
+	stats.Computations += 2 * int64(nShared)
+	cTo, cFrom = ac.logs()
+	corr := float64(nShared-n0) * p.LnDiff()
+	if p.CoverageWeight > 0 && nShared > 0 {
+		corr += p.CoverageWeight * p.CoverageLLR(nShared,
+			ds.Coverage(s1), ds.Coverage(s2), ds.NumItems(), p.CoverageCap)
+	}
+	return cTo + corr, cFrom + corr
+}
+
+// exactPairMerge is the fallback path of exactPair (bitsets disabled by
+// the memory guard): merge the two sorted observation lists.
+func exactPairMerge(p bayes.Params, ds *dataset.Dataset, st *bayes.State,
+	s1, s2 dataset.SourceID, stats *Stats) (cTo, cFrom float64) {
+
+	a, b := ds.BySource[s1], ds.BySource[s2]
+	a1, a2 := st.A[s1], st.A[s2]
+	ac := newProdAccum()
+	nShared, n0 := 0, 0
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
@@ -522,51 +783,37 @@ func (d *Incremental) exactPair(ds *dataset.Dataset, st *bayes.State, s1, s2 dat
 		default:
 			nShared++
 			if a[i].Value == b[j].Value {
+				n0++
 				pv := st.P[a[i].Item][a[i].Value]
 				pop := st.PopOf(int32(a[i].Item), int32(a[i].Value))
-				cTo += p.ContribSameDist(pv, pop, st.A[s1], st.A[s2])
-				cFrom += p.ContribSameDist(pv, pop, st.A[s2], st.A[s1])
+				ac.mulSame(p, pv, pop, a1, a2)
 				stats.ValuesExamined++
-			} else {
-				cTo += lnDiff
-				cFrom += lnDiff
 			}
 			stats.Computations += 2
 			i++
 			j++
 		}
 	}
+	cTo, cFrom = ac.logs()
+	corr := float64(nShared-n0) * p.LnDiff()
 	if p.CoverageWeight > 0 && nShared > 0 {
-		cov := p.CoverageWeight * p.CoverageLLR(nShared, len(a), len(b), ds.NumItems(), p.CoverageCap)
-		cTo += cov
-		cFrom += cov
+		corr += p.CoverageWeight * p.CoverageLLR(nShared,
+			ds.Coverage(s1), ds.Coverage(s2), ds.NumItems(), p.CoverageCap)
 	}
-	return cTo, cFrom
+	return cTo + corr, cFrom + corr
 }
 
-// emit materializes the per-pair results from the stored decisions and the
-// best available score estimates. The output slice is indexed by pair
-// slot, so the strided parallel fill yields the same ordering as a
-// sequential walk for every worker count.
+// emit fills Result.Pairs (strided across workers, indexed by slot).
 func (d *Incremental) emit(res *Result) {
-	p := d.Params
-	numPairs := np(d)
-	pairs := make([]PairResult, numPairs)
-	workers := pool.Clamp(d.Opts.Workers)
-	pool.Run(workers, func(w int) {
-		for slot := w; slot < numPairs; slot += workers {
-			s1, s2 := d.pm.Key(int32(slot)).Sources()
-			cTo := d.cTo[slot] + d.dNegTo[slot] + d.dPosTo[slot]
-			cFrom := d.cFrom[slot] + d.dNegFrom[slot] + d.dPosFrom[slot]
-			prIndep, prTo, prFrom := p.Posterior(cTo, cFrom)
-			pairs[slot] = PairResult{
-				S1: s1, S2: s2, CTo: cTo, CFrom: cFrom,
-				PrIndep: prIndep, PrTo: prTo, PrFrom: prFrom,
-				Copying: d.copying[slot],
-			}
-		}
-	})
-	res.Pairs = pairs
+	numPairs := d.pm.Len()
+	if d.ReuseResult {
+		d.pairsBuf = grow(d.pairsBuf, numPairs)
+		d.emitPairs = d.pairsBuf
+	} else {
+		d.emitPairs = make([]PairResult, numPairs)
+	}
+	pool.Run(d.workers, d.emitFn)
+	res.Pairs = d.emitPairs
 	res.Stats.PairsConsidered += int64(numPairs)
 }
 

@@ -7,7 +7,7 @@ import (
 	"copydetect/internal/pool"
 )
 
-// scanIndex performs the entry scan over a prebuilt index and pair set,
+// scanIndex performs the entry scan over a rescored view and pair set,
 // shared by all single-round algorithms and by INCREMENTAL's warm rounds.
 // This is the Section VIII extension generalized to the whole detector
 // family: opts.Workers shards the pair space (by the smaller source id of
@@ -16,9 +16,9 @@ import (
 // the entries it would see sequentially, and the merge happens in a
 // worker-independent order:
 //
-//   - per-pair state lives in one shared slice indexed by pair slot; each
-//     slot has exactly one writing worker, so the scan needs no locks and
-//     the slice is already "merged" when the workers finish;
+//   - per-pair state lives in shared SoA columns indexed by pair slot;
+//     each slot has exactly one writing worker, so the scan needs no locks
+//     and the columns are already "merged" when the workers finish;
 //   - finalizePairs then walks the slots in order on the calling
 //     goroutine, so Result.Pairs is ordered identically for every worker
 //     count;
@@ -27,20 +27,22 @@ import (
 // Because each pair's state transitions (including the BOUND/BOUND+ early
 // terminations and timers, which depend only on that pair's state and the
 // per-source nSeen counts each worker recomputes identically) happen in
-// index order regardless of ownership, the Result is bit-identical to the
+// scan order regardless of ownership, the Result is bit-identical to the
 // sequential scan for every value of opts.Workers. The mirror of the
 // paper's suggested per-entry parallelization, with the per-pair shard
 // axis chosen so no reduction step is needed.
 func scanIndex(ds *dataset.Dataset, st *bayes.State, p bayes.Params, opts Options, m mode,
-	idx *index.Index, pm *index.PairMap, lCounts []int32, res *Result) {
+	v *index.View, pm *index.PairMap, lCounts []int32, cache *structCache, res *Result) {
 
-	pairs := makePairStates(ds, p, opts, m, pm, lCounts)
+	tab := &cache.tab
+	makePairTab(ds, p, opts, m, pm, lCounts, tab)
 	workers := pool.Clamp(opts.Workers)
+	nSeen := cache.nSeenBufs(workers, ds.NumSources())
 	for _, stats := range pool.Shards(workers, func(w int) Stats {
-		return scanShard(ds, st, p, m, idx, pm, pairs, w, workers)
+		return scanShard(ds, st, p, m, v, pm, tab, nSeen[w], w, workers)
 	}) {
 		res.Stats.Add(stats)
 	}
-	res.Stats.EntriesScanned += int64(len(idx.Entries))
-	finalizePairs(p, pairs, res)
+	res.Stats.EntriesScanned += int64(v.S.NumEntries())
+	finalizePairs(p, pm, tab, res)
 }

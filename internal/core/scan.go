@@ -136,139 +136,244 @@ func (d *Hybrid) DetectRound(ds *dataset.Dataset, st *bayes.State, round int) *R
 	return scanRound(ds, st, d.Params, d.Opts, modeHybrid, &d.cache)
 }
 
-// pairState is the per-pair scan state of the index-driven algorithms.
-type pairState struct {
-	s1, s2 dataset.SourceID
-	l      int32 // shared items l(S1,S2)
-	n0     int32 // observed shared values
-	cTo    float64
-	cFrom  float64
+// pairTab is the per-pair scan state in structure-of-arrays layout: one
+// column per field, indexed by pair slot. The kernel touches at most four
+// columns per co-occurrence (mantissa + exponent per direction, plus the
+// bookkeeping columns for bounded pairs), so a cache line of each column
+// serves eight pairs instead of one AoS struct — and the columns are
+// reused across rounds, so steady-state rounds allocate nothing here.
+//
+// The directional evidence lives as a renormalized product mant·2^exp
+// (see accum.go); cov holds the coverage-evidence seed separately so it
+// can be added back in log space.
+type pairTab struct {
+	mantTo, mantFrom []float64
+	expTo, expFrom   []int32
+	cov              []float64
+	l, n0            []int32 // shared items l(S1,S2) / observed shared values
 	// BOUND+ lazy-recomputation timers.
-	minSkipUntil int32 // recompute Cmin when n0 >= this
-	maxSkipN1    int32 // recompute Cmax when n(S1) >= this ...
-	maxSkipN2    int32 // ... or n(S2) >= this
-	useBounds    bool
-	decided      bool
-	copying      bool
+	minSkipUntil []int32 // recompute Cmin when n0 >= this
+	maxSkipN1    []int32 // recompute Cmax when n(S1) >= this ...
+	maxSkipN2    []int32 // ... or n(S2) >= this
+	flags        []byte
+}
+
+const (
+	flagUseBounds byte = 1 << iota
+	flagDecided
+	flagCopying
+)
+
+// reset sizes every column for np pairs (reusing capacity) and restores
+// the neutral accumulator state.
+func (t *pairTab) reset(np int) {
+	if cap(t.mantTo) < np {
+		t.mantTo = make([]float64, np)
+		t.mantFrom = make([]float64, np)
+		t.cov = make([]float64, np)
+		t.expTo = make([]int32, np)
+		t.expFrom = make([]int32, np)
+		t.l = make([]int32, np)
+		t.n0 = make([]int32, np)
+		t.minSkipUntil = make([]int32, np)
+		t.maxSkipN1 = make([]int32, np)
+		t.maxSkipN2 = make([]int32, np)
+		t.flags = make([]byte, np)
+	}
+	t.mantTo = t.mantTo[:np]
+	t.mantFrom = t.mantFrom[:np]
+	t.cov = t.cov[:np]
+	t.expTo = t.expTo[:np]
+	t.expFrom = t.expFrom[:np]
+	t.l = t.l[:np]
+	t.n0 = t.n0[:np]
+	t.minSkipUntil = t.minSkipUntil[:np]
+	t.maxSkipN1 = t.maxSkipN1[:np]
+	t.maxSkipN2 = t.maxSkipN2[:np]
+	t.flags = t.flags[:np]
+	for i := range t.mantTo {
+		t.mantTo[i], t.mantFrom[i] = 1, 1
+	}
+	clear(t.cov)
+	clear(t.expTo)
+	clear(t.expFrom)
+	clear(t.n0)
+	clear(t.minSkipUntil)
+	clear(t.maxSkipN1)
+	clear(t.maxSkipN2)
+	clear(t.flags)
+}
+
+// score recovers one direction's full log-space score: the product
+// evidence, the coverage seed and the different-value correction for the
+// diff remaining unseen shared items.
+func (t *pairTab) score(slot int, lnDiff float64) (cTo, cFrom float64) {
+	corr := t.cov[slot] + float64(t.l[slot]-t.n0[slot])*lnDiff
+	cTo = logAcc(t.mantTo[slot], t.expTo[slot]) + corr
+	cFrom = logAcc(t.mantFrom[slot], t.expFrom[slot]) + corr
+	return cTo, cFrom
 }
 
 // scanRound runs one round of INDEX/BOUND/BOUND+/HYBRID, parallelized per
 // opts.Workers. cache may be nil for one-shot callers.
 func scanRound(ds *dataset.Dataset, st *bayes.State, p bayes.Params, opts Options, m mode, cache *structCache) *Result {
 	buildStart := time.Now()
+	if cache == nil {
+		cache = &structCache{}
+	}
 	var rng *rand.Rand
 	if opts.Order == index.Random {
 		rng = rand.New(rand.NewSource(opts.Seed))
 	}
-	idx := index.Build(ds, st, p, opts.Order, rng)
-	var pm *index.PairMap
-	var lCounts []int32
-	if cache != nil {
-		pm, lCounts = cache.sharedCounts(ds, idx)
-	} else {
-		pm = index.CandidatePairs(idx, ds.NumSources())
-		lCounts = index.SharedItemCounts(ds, pm)
-	}
+	v, pm, lCounts := cache.round(ds, st, p, opts.Order, rng)
 	res := &Result{NumSources: ds.NumSources()}
 	res.Stats.Rounds = 1
 	res.Stats.IndexBuild = time.Since(buildStart)
 
 	detectStart := time.Now()
-	scanIndex(ds, st, p, opts, m, idx, pm, lCounts, res)
+	scanIndex(ds, st, p, opts, m, v, pm, lCounts, cache, res)
 	res.Stats.Detect = time.Since(detectStart)
 	return res
 }
 
-// makePairStates initializes the per-pair scan state, including the
+// makePairTab initializes the per-pair scan columns, including the
 // coverage-evidence seed (footnote-1 extension) and the per-pair bound
-// mode. It is shared by the sequential and parallel paths; seeding the
-// coverage evidence before any contribution is added keeps the floating-
-// point accumulation order identical in both.
-func makePairStates(ds *dataset.Dataset, p bayes.Params, opts Options, m mode,
-	pm *index.PairMap, lCounts []int32) []pairState {
+// mode.
+func makePairTab(ds *dataset.Dataset, p bayes.Params, opts Options, m mode,
+	pm *index.PairMap, lCounts []int32, tab *pairTab) {
 
 	shareThreshold := opts.shareThreshold()
-	pairs := make([]pairState, pm.Len())
-	for slot, key := range pm.Keys() {
-		s1, s2 := key.Sources()
-		ps := &pairs[slot]
-		ps.s1, ps.s2 = s1, s2
-		ps.l = lCounts[slot]
-		if p.CoverageWeight > 0 {
-			// Footnote-1 extension: seed both directional scores with the
-			// coverage evidence, so bounds and decisions include it.
-			cov := p.CoverageWeight * p.CoverageLLR(int(ps.l),
+	tab.reset(pm.Len())
+	copy(tab.l, lCounts)
+	if p.CoverageWeight > 0 {
+		for slot, key := range pm.Keys() {
+			s1, s2 := key.Sources()
+			tab.cov[slot] = p.CoverageWeight * p.CoverageLLR(int(lCounts[slot]),
 				ds.Coverage(s1), ds.Coverage(s2), ds.NumItems(), p.CoverageCap)
-			ps.cTo, ps.cFrom = cov, cov
-		}
-		switch m {
-		case modeBound, modeBoundPlus:
-			ps.useBounds = true
-		case modeHybrid:
-			ps.useBounds = ps.l > shareThreshold
 		}
 	}
-	return pairs
+	switch m {
+	case modeBound, modeBoundPlus:
+		for slot := range tab.flags {
+			tab.flags[slot] = flagUseBounds
+		}
+	case modeHybrid:
+		for slot := range tab.flags {
+			if lCounts[slot] > shareThreshold {
+				tab.flags[slot] = flagUseBounds
+			}
+		}
+	}
 }
 
 // scanShard is the accumulation kernel of the index-driven algorithms: one
 // worker's entry scan over the shard of the pair space it owns. A pair
 // {S1, S2} (S1 < S2, as guaranteed by the sorted provider lists) belongs
 // to shard S1 mod workers, so every pair has exactly one writer and its
-// state evolves through the same sequence of updates — in index order —
-// as under the sequential scan. nSeen is recomputed per worker over all
+// state evolves through the same sequence of updates — in scan order — as
+// under the sequential scan. nSeen is recomputed per worker over all
 // entries, so bound evaluations observe the same per-source counts at the
 // same scan positions as sequentially. With workers == 1 this IS the
 // sequential scan.
+//
+// Per entry the kernel hoists everything that does not depend on the pair
+// (pv, the popularity term), and per first-provider everything that does
+// not depend on the second (the S1 factors of Eq. 3/4), so the inner loop
+// is a handful of fused multiply-adds per co-occurrence: one shared
+// independence probability, one likelihood-ratio multiply per direction
+// (accum.go), and — for bounded pairs — the Cmin/Cmax checks, which are
+// the only place a logarithm is taken.
 func scanShard(ds *dataset.Dataset, st *bayes.State, p bayes.Params, m mode,
-	idx *index.Index, pm *index.PairMap, pairs []pairState, w, workers int) Stats {
+	v *index.View, pm *index.PairMap, tab *pairTab, nSeen []int32, w, workers int) Stats {
 
 	var stats Stats
 	thetaCp, thetaInd := p.ThetaCp(), p.ThetaInd()
 	lnDiff := p.LnDiff()
 	useTimers := m == modeBoundPlus || m == modeHybrid
 
-	nSeen := make([]int32, ds.NumSources()) // n(S): values observed per source
-	for i := range idx.Entries {
-		e := &idx.Entries[i]
+	str := v.S
+	accs := st.A
+	sSel := p.S
+	oneMinusS := 1 - p.S
+	invN := 1 / p.N
+	clear(nSeen) // n(S): values observed per source
+	for pos, eid := range v.Order {
 		// Tail entries (E̅) only ever update pairs that already exist:
 		// pairs co-occurring exclusively inside E̅ were never added to pm,
 		// so pm.Get below returns -1 for them and they stay pruned.
-		nextM := idx.MaxRemaining[i+1]
-		for _, s := range e.Providers {
+		provs := str.Prov[str.ProvOff[eid]:str.ProvOff[eid+1]]
+		nextM := v.MaxRemaining[pos+1]
+		for _, s := range provs {
 			nSeen[s]++
 		}
-		provs := e.Providers
+		pv := v.P[eid]
+		pop := v.Pop[eid]
+		if pop <= 0 {
+			pop = invN
+		}
+		omPv := 1 - pv
+		popTerm := omPv * pop
 		for x := 0; x < len(provs); x++ {
-			if !pool.Owns(workers, w, int(provs[x])) {
+			s1 := provs[x]
+			if !pool.Owns(workers, w, int(s1)) {
 				continue // pair owned by another shard
 			}
+			a1 := accs[s1]
+			om1 := 1 - a1
+			pvA1 := pv * a1
+			popOm1 := popTerm * om1
+			provA1 := pvA1 + omPv*om1 // Pr(ΦD(S1)), Eq. 4
 			for y := x + 1; y < len(provs); y++ {
-				s1, s2 := provs[x], provs[y]
+				s2 := provs[y]
 				slot := pm.Get(s1, s2)
 				if slot < 0 {
 					continue // pair shares values only inside the tail set
 				}
-				ps := &pairs[slot]
-				if ps.decided {
+				fl := tab.flags[slot]
+				if fl&flagDecided != 0 {
 					continue
 				}
 				// Contribution of sharing this value (Eq. 6), both
-				// directions. ContribSameDist(pv, pop, copier, copied).
-				ps.cTo += p.ContribSameDist(e.P, e.Pop, st.A[s1], st.A[s2])
-				ps.cFrom += p.ContribSameDist(e.P, e.Pop, st.A[s2], st.A[s1])
-				ps.n0++
+				// directions, as likelihood-ratio multiplies. The
+				// independence probability (Eq. 3) is shared.
+				a2 := accs[s2]
+				om2 := 1 - a2
+				ind := pvA1*a2 + popOm1*om2
+				tab.n0[slot]++
 				stats.ValuesExamined++
 				stats.Computations += 2
-				if !ps.useBounds {
+				if ind <= 0 {
+					// Degenerate accuracies: sharing is proof (the +Inf
+					// branch of ContribSame).
+					tab.mantTo[slot] = math.Inf(1)
+					tab.mantFrom[slot] = math.Inf(1)
+				} else {
+					inv := sSel / ind
+					tab.mantTo[slot], tab.expTo[slot] = mulRenorm(
+						tab.mantTo[slot], tab.expTo[slot], oneMinusS+(pv*a2+omPv*om2)*inv)
+					tab.mantFrom[slot], tab.expFrom[slot] = mulRenorm(
+						tab.mantFrom[slot], tab.expFrom[slot], oneMinusS+provA1*inv)
+				}
+				if fl&flagUseBounds == 0 {
 					continue
 				}
+				n0 := tab.n0[slot]
+				l := tab.l[slot]
+				// big = cov + max(ln C→, ln C←); computed lazily — at most
+				// once per co-occurrence — because the logs are the
+				// expensive part of a bound evaluation.
+				big := 0.0
+				haveBig := false
 				// Cmin (Eq. 9): assume every unseen shared item disagrees.
-				if !useTimers || ps.n0 >= ps.minSkipUntil {
-					cmin := math.Max(ps.cTo, ps.cFrom) + float64(ps.l-ps.n0)*lnDiff
+				if !useTimers || n0 >= tab.minSkipUntil[slot] {
+					big = tab.cov[slot] + math.Max(
+						logAcc(tab.mantTo[slot], tab.expTo[slot]),
+						logAcc(tab.mantFrom[slot], tab.expFrom[slot]))
+					haveBig = true
+					cmin := big + float64(l-n0)*lnDiff
 					stats.Computations++
 					if cmin >= thetaCp {
-						ps.decided, ps.copying = true, true
+						tab.flags[slot] = fl | flagDecided | flagCopying
 						continue
 					}
 					if useTimers {
@@ -279,17 +384,21 @@ func scanShard(ds *dataset.Dataset, st *bayes.State, p bayes.Params, m mode,
 						if t < 1 {
 							t = 1
 						}
-						ps.minSkipUntil = ps.n0 + t
+						tab.minSkipUntil[slot] = n0 + t
 					}
 				}
 				// Cmax (Eq. 10).
-				if !useTimers || nSeen[s1] >= ps.maxSkipN1 || nSeen[s2] >= ps.maxSkipN2 {
-					h := estimateOverlapSeen(ds, nSeen, ps)
-					cmax := math.Max(ps.cTo, ps.cFrom) +
-						(h-float64(ps.n0))*lnDiff + (float64(ps.l)-h)*nextM
+				if !useTimers || nSeen[s1] >= tab.maxSkipN1[slot] || nSeen[s2] >= tab.maxSkipN2[slot] {
+					if !haveBig {
+						big = tab.cov[slot] + math.Max(
+							logAcc(tab.mantTo[slot], tab.expTo[slot]),
+							logAcc(tab.mantFrom[slot], tab.expFrom[slot]))
+					}
+					h := estimateOverlapSeen(ds, nSeen, s1, s2, l, n0)
+					cmax := big + (h-float64(n0))*lnDiff + (float64(l)-h)*nextM
 					stats.Computations++
 					if cmax < thetaInd {
-						ps.decided, ps.copying = true, false
+						tab.flags[slot] = fl | flagDecided
 						continue
 					}
 					if useTimers {
@@ -297,17 +406,19 @@ func scanShard(ds *dataset.Dataset, st *bayes.State, p bayes.Params, m mode,
 						// M − ln(1−s); translate the needed count into
 						// per-source observation thresholds (Section IV-B).
 						t0 := math.Ceil((cmax - thetaInd) / (nextM - lnDiff))
-						need := t0 + h - float64(ps.n0)
+						need := t0 + h - float64(n0)
 						cov1 := float64(ds.Coverage(s1))
 						cov2 := float64(ds.Coverage(s2))
-						ps.maxSkipN1 = int32(math.Ceil(need * cov1 / float64(ps.l)))
-						ps.maxSkipN2 = int32(math.Ceil(need * cov2 / float64(ps.l)))
-						if ps.maxSkipN1 <= nSeen[s1] {
-							ps.maxSkipN1 = nSeen[s1] + 1
+						n1 := int32(math.Ceil(need * cov1 / float64(l)))
+						n2 := int32(math.Ceil(need * cov2 / float64(l)))
+						if n1 <= nSeen[s1] {
+							n1 = nSeen[s1] + 1
 						}
-						if ps.maxSkipN2 <= nSeen[s2] {
-							ps.maxSkipN2 = nSeen[s2] + 1
+						if n2 <= nSeen[s2] {
+							n2 = nSeen[s2] + 1
 						}
+						tab.maxSkipN1[slot] = n1
+						tab.maxSkipN2[slot] = n2
 					}
 				}
 			}
@@ -317,34 +428,33 @@ func scanShard(ds *dataset.Dataset, st *bayes.State, p bayes.Params, m mode,
 }
 
 // finalizePairs is step IV of the scan: every undecided pair has now seen
-// all its shared values; apply the different-value correction and decide.
-// It runs on the calling goroutine over all pairs in slot order, which
-// fixes the order of Result.Pairs independently of the worker count.
-func finalizePairs(p bayes.Params, pairs []pairState, res *Result) {
+// all its shared values; recover its log-space scores, apply the
+// different-value correction and decide. It runs on the calling goroutine
+// over all pairs in slot order, which fixes the order of Result.Pairs
+// independently of the worker count.
+func finalizePairs(p bayes.Params, pm *index.PairMap, tab *pairTab, res *Result) {
 	lnDiff := p.LnDiff()
-	res.Stats.PairsConsidered += int64(len(pairs))
-	for i := range pairs {
-		ps := &pairs[i]
-		if ps.decided {
+	numPairs := pm.Len()
+	res.Stats.PairsConsidered += int64(numPairs)
+	res.Pairs = make([]PairResult, 0, numPairs)
+	for slot := 0; slot < numPairs; slot++ {
+		s1, s2 := pm.Key(int32(slot)).Sources()
+		cTo, cFrom := tab.score(slot, lnDiff)
+		if tab.flags[slot]&flagDecided != 0 {
 			// Record the pair with the evidence available at its decision
 			// point; Cmin is the sound score estimate there.
-			cTo := ps.cTo + float64(ps.l-ps.n0)*lnDiff
-			cFrom := ps.cFrom + float64(ps.l-ps.n0)*lnDiff
 			prIndep, prTo, prFrom := p.Posterior(cTo, cFrom)
 			res.Pairs = append(res.Pairs, PairResult{
-				S1: ps.s1, S2: ps.s2, CTo: cTo, CFrom: cFrom,
+				S1: s1, S2: s2, CTo: cTo, CFrom: cFrom,
 				PrIndep: prIndep, PrTo: prTo, PrFrom: prFrom,
-				Copying: ps.copying,
+				Copying: tab.flags[slot]&flagCopying != 0,
 			})
 			continue
 		}
-		diff := float64(ps.l - ps.n0)
-		cTo := ps.cTo + diff*lnDiff
-		cFrom := ps.cFrom + diff*lnDiff
 		res.Stats.Computations += 2
 		copying, prIndep, prTo, prFrom := decide(p, cTo, cFrom)
 		res.Pairs = append(res.Pairs, PairResult{
-			S1: ps.s1, S2: ps.s2, CTo: cTo, CFrom: cFrom,
+			S1: s1, S2: s2, CTo: cTo, CFrom: cFrom,
 			PrIndep: prIndep, PrTo: prTo, PrFrom: prFrom,
 			Copying: copying,
 		})
@@ -354,16 +464,16 @@ func finalizePairs(p bayes.Params, pairs []pairState, res *Result) {
 // estimateOverlapSeen computes h, the estimated number of already-scanned
 // data items shared by the pair: max over the two sources of
 // n(S)·l(S1,S2)/|D̄(S)| (Section IV-A), clamped into [n0, l].
-func estimateOverlapSeen(ds *dataset.Dataset, nSeen []int32, ps *pairState) float64 {
-	l := float64(ps.l)
-	h1 := float64(nSeen[ps.s1]) * l / float64(ds.Coverage(ps.s1))
-	h2 := float64(nSeen[ps.s2]) * l / float64(ds.Coverage(ps.s2))
+func estimateOverlapSeen(ds *dataset.Dataset, nSeen []int32, s1, s2 dataset.SourceID, l, n0 int32) float64 {
+	lf := float64(l)
+	h1 := float64(nSeen[s1]) * lf / float64(ds.Coverage(s1))
+	h2 := float64(nSeen[s2]) * lf / float64(ds.Coverage(s2))
 	h := math.Max(h1, h2)
-	if h < float64(ps.n0) {
-		h = float64(ps.n0)
+	if h < float64(n0) {
+		h = float64(n0)
 	}
-	if h > l {
-		h = l
+	if h > lf {
+		h = lf
 	}
 	return h
 }

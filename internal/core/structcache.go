@@ -1,56 +1,110 @@
 package core
 
 import (
+	"math/rand"
+
+	"copydetect/internal/bayes"
 	"copydetect/internal/dataset"
 	"copydetect/internal/index"
 )
 
-// structCache memoizes the purely structural part of the scan across
-// rounds of the iterative process: which source pairs co-occur in any
-// index entry, and how many data items each such pair shares. Both depend
-// only on the observations — never on value probabilities or accuracies —
-// so they are computed once per dataset and reused in every round. (The
-// paper counts l(S1,S2) "at index building time"; this keeps that cost out
-// of the per-round loop entirely.)
+// structCache memoizes everything the scan can reuse across rounds of the
+// iterative process, split along the Structure/View boundary of
+// internal/index:
 //
-// The per-round candidate pair set (pairs co-occurring outside the round's
-// tail set E̅) is still recomputed each round, because the tail set moves
-// with the scores; only the expensive shared-item counting is cached.
+//   - Per dataset generation: the SoA index structure (entry tables, CSR
+//     provider lists, overlap bitsets), the all-pairs map and the
+//     shared-item counts l(S1,S2). These depend only on the observations —
+//     never on value probabilities or accuracies — so they are computed
+//     once and reused in every round. (The paper counts l(S1,S2) "at index
+//     building time"; this keeps that cost out of the per-round loop
+//     entirely.)
+//   - Per round, reusing buffers: the rescored View, the candidate pair
+//     map (pairs co-occurring outside the round's tail set E̅, which moves
+//     with the scores), its shared-item counts, the pair-state columns and
+//     the per-worker nSeen scratch. After the first round of a dataset,
+//     none of these allocate.
+//
+// The cache key is the dataset pointer AND its Generation stamp: a caller
+// that deletes a dataset and creates a new one can legitimately see the
+// allocator reuse the address, and a pointer-only key would then serve the
+// old dataset's frozen structure for the new data. (Regression test:
+// TestStructCacheGenerationChange.)
 type structCache struct {
-	ds    *dataset.Dataset
+	ds  *dataset.Dataset
+	gen uint64
+
+	// Per dataset generation.
+	str   *index.Structure
+	view  *index.View
 	pmAll *index.PairMap
 	lAll  []int32
+
+	// Per round, reused.
+	pm      *index.PairMap
+	lCounts []int32
+	tab     pairTab
+	nSeen   [][]int32
 }
 
-// sharedCounts returns the candidate pair map for this round's index plus
-// the shared-item counts for exactly those pairs.
-func (c *structCache) sharedCounts(ds *dataset.Dataset, idx *index.Index) (*index.PairMap, []int32) {
-	if c.ds != ds {
-		c.ds = ds
-		c.pmAll = index.NewPairMap(ds.NumSources())
-		for i := range idx.Entries {
-			provs := idx.Entries[i].Providers
-			for x := 0; x < len(provs); x++ {
-				for y := x + 1; y < len(provs); y++ {
-					c.pmAll.GetOrAdd(provs[x], provs[y])
-				}
-			}
-		}
+// structures returns the SoA structure for ds, rebuilding everything when
+// the dataset identity (pointer or generation) changed.
+func (c *structCache) structures(ds *dataset.Dataset) *index.Structure {
+	if c.str != nil && c.ds == ds && c.gen == ds.Generation {
+		return c.str
+	}
+	*c = structCache{ds: ds, gen: ds.Generation}
+	c.str = index.NewStructure(ds)
+	c.view = index.NewView(c.str)
+	c.pmAll = index.NewPairMap(ds.NumSources())
+	index.AllPairsInto(c.str, c.pmAll)
+	c.lAll = make([]int32, c.pmAll.Len())
+	if c.str.ItemBits != nil {
+		index.SharedItemCountsBits(c.str, c.pmAll, c.lAll)
+	} else {
+		// Bitsets disabled by the memory guard: fall back to the sorted-
+		// list merges (one-time cost, it is cached).
 		c.lAll = index.SharedItemCounts(ds, c.pmAll)
 	}
-	pm := index.CandidatePairs(idx, ds.NumSources())
-	l := make([]int32, pm.Len())
-	for slot, key := range pm.Keys() {
-		s1, s2 := key.Sources()
-		all := c.pmAll.Get(s1, s2)
-		if all < 0 {
-			// The pair co-occurs in this round's index but was unseen when
-			// the cache was built — possible only if the dataset changed
-			// under us; fall back to a direct count.
-			l[slot] = int32(ds.SharedItems(s1, s2))
-			continue
-		}
-		l[slot] = c.lAll[all]
+	return c.str
+}
+
+// round prepares one scan round: rescore the view against the current
+// state, collect the candidate pairs outside the new tail set, and look up
+// their shared-item counts from the cached all-pairs table.
+func (c *structCache) round(ds *dataset.Dataset, st *bayes.State, p bayes.Params,
+	ord index.Order, rng *rand.Rand) (*index.View, *index.PairMap, []int32) {
+
+	c.structures(ds)
+	c.view.Rescore(st, p, ord, rng)
+	if c.pm == nil {
+		c.pm = index.NewPairMap(ds.NumSources())
 	}
-	return pm, l
+	index.CandidatePairsInto(c.view, c.pm)
+	numPairs := c.pm.Len()
+	if cap(c.lCounts) < numPairs {
+		c.lCounts = make([]int32, numPairs)
+	}
+	c.lCounts = c.lCounts[:numPairs]
+	for slot, key := range c.pm.Keys() {
+		s1, s2 := key.Sources()
+		if all := c.pmAll.Get(s1, s2); all >= 0 {
+			c.lCounts[slot] = c.lAll[all]
+		} else {
+			// Unreachable while the cache key holds (every candidate pair
+			// co-occurs in some entry, so pmAll has it); kept as a safety
+			// net.
+			c.lCounts[slot] = int32(ds.SharedItems(s1, s2))
+		}
+	}
+	return c.view, c.pm, c.lCounts
+}
+
+// nSeenBufs returns one per-source counter slice per worker, reused across
+// rounds.
+func (c *structCache) nSeenBufs(workers, numSources int) [][]int32 {
+	for len(c.nSeen) < workers {
+		c.nSeen = append(c.nSeen, make([]int32, numSources))
+	}
+	return c.nSeen[:workers]
 }

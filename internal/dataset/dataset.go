@@ -12,6 +12,7 @@ package dataset
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // SourceID identifies a data source; ids are dense in [0, NumSources).
@@ -61,7 +62,25 @@ type Dataset struct {
 	// Truth[d] is the gold-standard true value of item d, or NoValue when
 	// unknown. May be nil when no gold standard exists.
 	Truth []ValueID
+
+	// Generation is a process-unique stamp assigned when the Dataset is
+	// materialized (Builder.Build, the codecs, the generators). Caches
+	// keyed on a *Dataset must also compare Generation: the Go allocator
+	// may place a recreated dataset at the address of a deleted one, and a
+	// pointer comparison alone would then serve stale cached structures.
+	// Hand-constructed literals carry Generation 0 and fall back to
+	// pointer identity.
+	Generation uint64
 }
+
+// generationCounter backs FreshGeneration; 0 is reserved for literals.
+var generationCounter atomic.Uint64
+
+// FreshGeneration returns a process-unique, non-zero generation stamp.
+// Every code path that materializes a new Dataset calls it, so two
+// Datasets never share a (pointer, generation) identity even if the
+// allocator reuses the address.
+func FreshGeneration() uint64 { return generationCounter.Add(1) }
 
 // NumSources returns |S|.
 func (ds *Dataset) NumSources() int { return len(ds.SourceNames) }
@@ -320,6 +339,7 @@ func (b *Builder) Build() *Dataset {
 		ValueNames:  make([][]string, len(b.valueNames)),
 		BySource:    make([][]Obs, len(b.sourceNames)),
 		ByItem:      make([][]SV, len(b.itemNames)),
+		Generation:  FreshGeneration(),
 	}
 	for d, vs := range b.valueNames {
 		ds.ValueNames[d] = append([]string(nil), vs...)

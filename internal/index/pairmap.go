@@ -88,6 +88,21 @@ func (pm *PairMap) GetOrAdd(a, b dataset.SourceID) (slot int32, added bool) {
 	return s, true
 }
 
+// Reset empties the map while keeping its allocations, so a per-round
+// pair map can be refilled without re-clearing the dense n² array: only
+// the slots of previously inserted keys are touched.
+func (pm *PairMap) Reset() {
+	if pm.dense != nil {
+		for _, k := range pm.keys {
+			a, b := k.Sources()
+			pm.dense[int32(a)*pm.n+int32(b)] = -1
+		}
+	} else {
+		clear(pm.sparse)
+	}
+	pm.keys = pm.keys[:0]
+}
+
 // Key returns the pair key stored in a slot.
 func (pm *PairMap) Key(slot int32) PairKey { return pm.keys[slot] }
 

@@ -1,0 +1,343 @@
+package index
+
+import (
+	"math"
+	"math/rand"
+	"slices"
+
+	"copydetect/internal/bayes"
+	"copydetect/internal/bitset"
+	"copydetect/internal/dataset"
+)
+
+// This file is the structure-of-arrays face of the inverted index, built
+// for the accumulation kernel (internal/core/scan.go). The classic Build
+// API materializes []Entry structs and re-allocates them every round; the
+// Structure/View split instead separates what never changes across rounds
+// of the iterative process from what does:
+//
+//   - Structure: the entry universe — (item, value) per entry, provider
+//     lists in CSR layout, and optional per-source bitsets over items and
+//     entries for word-parallel overlap counting. Depends only on the
+//     observations; built once per dataset generation and cached.
+//   - View: the per-round arrays — P, Pop, Score per entry, the scan
+//     order permutation, the tail set and the MaxRemaining maxima.
+//     Rescore refills them in place, so steady-state rounds allocate
+//     nothing here.
+//
+// Entry ids (eids) are stable: item-major, values ascending within an
+// item — exactly the enumeration order of Collect — so a frozen View
+// (INCREMENTAL) can index per-entry state by eid forever.
+
+// Structure is the round-invariant part of the inverted index in SoA
+// layout. All slices are indexed by entry id unless noted.
+type Structure struct {
+	// Item and Val identify entry e as value Val[e] of item Item[e].
+	Item []dataset.ItemID
+	Val  []dataset.ValueID
+	// Prov[ProvOff[e]:ProvOff[e+1]] lists entry e's providers, sorted by
+	// source id (CSR layout: one shared backing array, no per-entry
+	// allocations).
+	ProvOff []int32
+	Prov    []dataset.SourceID
+
+	// ItemBits[s] marks the items source s covers; EntryBits[s] marks the
+	// entries (item, value) source s provides. Both are nil when the
+	// memory guard trips (see bitsetMemLimit); callers must fall back to
+	// the sorted-list merges then. The two sets answer the kernel's
+	// overlap questions in one AND+popcount per 64 elements:
+	//
+	//	l(S1,S2)  = AndCount(ItemBits[s1], ItemBits[s2])   shared items
+	//	n0(S1,S2) = AndCount(EntryBits[s1], EntryBits[s2]) shared values
+	ItemBits  []bitset.Set
+	EntryBits []bitset.Set
+
+	// MaxProviders is the largest provider-list length, for scratch sizing.
+	MaxProviders int
+
+	numSources int
+	numItems   int
+}
+
+// bitsetMemLimit caps the total bitset footprint at 64 MB. Beyond it the
+// per-source sets would stop fitting in cache anyway and the sorted-list
+// merges win back; Structure then leaves ItemBits/EntryBits nil.
+const bitsetMemLimit = 64 << 20
+
+// NewStructure enumerates the entry universe of ds — every value provided
+// by at least two sources, item-major, values ascending — into SoA tables.
+func NewStructure(ds *dataset.Dataset) *Structure {
+	s := &Structure{numSources: ds.NumSources(), numItems: ds.NumItems()}
+	// Count entries and providers first so every slice is exact-sized.
+	numEntries, numProv := 0, 0
+	var counts []int32
+	for d := range ds.ByItem {
+		svs := ds.ByItem[d]
+		if len(svs) < 2 {
+			continue
+		}
+		nv := ds.NumValues(dataset.ItemID(d))
+		if cap(counts) < nv {
+			counts = make([]int32, nv*2)
+		}
+		counts = counts[:nv]
+		clear(counts)
+		for _, sv := range svs {
+			counts[sv.Value]++
+		}
+		for _, c := range counts {
+			if c >= 2 {
+				numEntries++
+				numProv += int(c)
+			}
+		}
+	}
+	s.Item = make([]dataset.ItemID, 0, numEntries)
+	s.Val = make([]dataset.ValueID, 0, numEntries)
+	s.ProvOff = make([]int32, 1, numEntries+1)
+	s.Prov = make([]dataset.SourceID, 0, numProv)
+
+	var slot []int32
+	for d := range ds.ByItem {
+		svs := ds.ByItem[d]
+		if len(svs) < 2 {
+			continue
+		}
+		nv := ds.NumValues(dataset.ItemID(d))
+		if cap(counts) < nv {
+			counts = make([]int32, nv*2)
+		}
+		if cap(slot) < nv {
+			slot = make([]int32, nv*2)
+		}
+		counts, slot = counts[:nv], slot[:nv]
+		clear(counts)
+		for _, sv := range svs {
+			counts[sv.Value]++
+		}
+		first := len(s.Item)
+		for v := 0; v < nv; v++ {
+			if counts[v] < 2 {
+				slot[v] = -1
+				continue
+			}
+			slot[v] = int32(len(s.Item))
+			s.Item = append(s.Item, dataset.ItemID(d))
+			s.Val = append(s.Val, dataset.ValueID(v))
+		}
+		if first == len(s.Item) {
+			continue
+		}
+		// Reserve each new entry's CSR range, then fill provider lists in
+		// ByItem order (ascending source id, like Collect).
+		for i := first; i < len(s.Item); i++ {
+			n := counts[s.Val[i]]
+			s.ProvOff = append(s.ProvOff, s.ProvOff[len(s.ProvOff)-1]+n)
+			if int(n) > s.MaxProviders {
+				s.MaxProviders = int(n)
+			}
+		}
+		s.Prov = s.Prov[:s.ProvOff[len(s.ProvOff)-1]]
+		fill := make([]int32, len(s.Item)-first)
+		for _, sv := range svs {
+			if i := slot[sv.Value]; i >= 0 {
+				s.Prov[s.ProvOff[i]+fill[i-int32(first)]] = sv.Source
+				fill[i-int32(first)]++
+			}
+		}
+	}
+	s.buildBitsets(ds)
+	return s
+}
+
+// buildBitsets materializes the per-source item and entry bitsets unless
+// the memory guard trips.
+func (s *Structure) buildBitsets(ds *dataset.Dataset) {
+	n := s.NumEntries()
+	words := s.numSources * (bitset.Words(s.numItems) + bitset.Words(n))
+	if words*8 > bitsetMemLimit || s.numSources == 0 {
+		return
+	}
+	itemWords, entryWords := bitset.Words(s.numItems), bitset.Words(n)
+	itemBacking := make(bitset.Set, s.numSources*itemWords)
+	entryBacking := make(bitset.Set, s.numSources*entryWords)
+	s.ItemBits = make([]bitset.Set, s.numSources)
+	s.EntryBits = make([]bitset.Set, s.numSources)
+	for src := 0; src < s.numSources; src++ {
+		s.ItemBits[src] = itemBacking[src*itemWords : (src+1)*itemWords]
+		s.EntryBits[src] = entryBacking[src*entryWords : (src+1)*entryWords]
+	}
+	for src := range ds.BySource {
+		for _, o := range ds.BySource[src] {
+			s.ItemBits[src].Add(int(o.Item))
+		}
+	}
+	for e := 0; e < n; e++ {
+		for _, src := range s.Providers(int32(e)) {
+			s.EntryBits[src].Add(e)
+		}
+	}
+}
+
+// NumEntries returns the size of the entry universe.
+func (s *Structure) NumEntries() int { return len(s.Item) }
+
+// Providers returns entry e's provider list (sorted by source id). The
+// caller must not mutate it.
+func (s *Structure) Providers(e int32) []dataset.SourceID {
+	return s.Prov[s.ProvOff[e]:s.ProvOff[e+1]]
+}
+
+// View is the per-round scored face of a Structure. P, Pop, Score and
+// InTail are indexed by entry id; Order maps scan position to entry id;
+// MaxRemaining is indexed by scan position (MaxRemaining[i] bounds the
+// score of every entry at positions >= i, MaxRemaining[n] == 0). Rescore
+// refills everything in place, so a reused View allocates only on first
+// use.
+type View struct {
+	S            *Structure
+	P, Pop       []float64
+	Score        []float64
+	InTail       []bool
+	Order        []int32
+	MaxRemaining []float64
+	TailScoreSum float64
+
+	accs      []float64 // provider-accuracy scratch for entry scoring
+	tailOrder []int32   // eids by ascending score, scratch for the tail
+}
+
+// NewView allocates a View sized for s.
+func NewView(s *Structure) *View {
+	n := s.NumEntries()
+	return &View{
+		S:            s,
+		P:            make([]float64, n),
+		Pop:          make([]float64, n),
+		Score:        make([]float64, n),
+		InTail:       make([]bool, n),
+		Order:        make([]int32, n),
+		MaxRemaining: make([]float64, n+1),
+		accs:         make([]float64, 0, max(s.MaxProviders, 2)),
+		tailOrder:    make([]int32, n),
+	}
+}
+
+// Rescore recomputes the per-round arrays against st: entry probabilities
+// and contribution scores, the scan order, the tail set E̅ and the
+// MaxRemaining maxima. rng is consulted only for Order Random. No
+// allocations in steady state.
+func (v *View) Rescore(st *bayes.State, p bayes.Params, ord Order, rng *rand.Rand) {
+	s := v.S
+	n := s.NumEntries()
+	for e := 0; e < n; e++ {
+		v.accs = v.accs[:0]
+		for _, src := range s.Providers(int32(e)) {
+			v.accs = append(v.accs, st.A[src])
+		}
+		v.P[e] = st.P[s.Item[e]][s.Val[e]]
+		v.Pop[e] = st.PopOf(int32(s.Item[e]), int32(s.Val[e]))
+		v.Score[e] = p.MaxEntryScoreDist(v.P[e], v.Pop[e], v.accs)
+	}
+	for i := range v.Order {
+		v.Order[i] = int32(i)
+	}
+	switch ord {
+	case ByContribution:
+		slices.SortStableFunc(v.Order, func(a, b int32) int {
+			switch {
+			case v.Score[a] > v.Score[b]:
+				return -1
+			case v.Score[a] < v.Score[b]:
+				return 1
+			}
+			return 0
+		})
+	case ByProvider:
+		slices.SortStableFunc(v.Order, func(a, b int32) int {
+			return int(s.ProvOff[a+1]-s.ProvOff[a]) - int(s.ProvOff[b+1]-s.ProvOff[b])
+		})
+	case Random:
+		rng.Shuffle(n, func(i, j int) { v.Order[i], v.Order[j] = v.Order[j], v.Order[i] })
+	}
+	v.MaxRemaining[n] = 0
+	for i := n - 1; i >= 0; i-- {
+		v.MaxRemaining[i] = math.Max(v.MaxRemaining[i+1], v.Score[v.Order[i]])
+	}
+	// Tail set: lowest scores first while the sum stays below θind. Ties
+	// break by entry id, which keeps the set deterministic (the old
+	// AoS path used an unstable sort here; any tie resolution is equally
+	// sound, since the pruning argument only needs TailScoreSum < θind).
+	for i := range v.tailOrder {
+		v.tailOrder[i] = int32(i)
+	}
+	slices.SortFunc(v.tailOrder, func(a, b int32) int {
+		switch {
+		case v.Score[a] < v.Score[b]:
+			return -1
+		case v.Score[a] > v.Score[b]:
+			return 1
+		}
+		return int(a - b)
+	})
+	clear(v.InTail)
+	limit := p.ThetaInd()
+	sum := 0.0
+	for _, e := range v.tailOrder {
+		sc := v.Score[e]
+		if sum+sc >= limit {
+			break
+		}
+		sum += sc
+		v.InTail[e] = true
+	}
+	v.TailScoreSum = sum
+}
+
+// CandidatePairsInto registers every unordered source pair co-occurring
+// in an entry outside the tail set into pm, resetting it first. Insertion
+// follows scan order, so pair slots — and therefore Result.Pairs — are
+// ordered the same way CandidatePairs orders them for a freshly built
+// index. The View-based twin of CandidatePairs, allocation-free on a
+// warm PairMap.
+func CandidatePairsInto(v *View, pm *PairMap) {
+	pm.Reset()
+	for _, e := range v.Order {
+		if v.InTail[e] {
+			continue
+		}
+		provs := v.S.Providers(e)
+		for x := 0; x < len(provs); x++ {
+			for y := x + 1; y < len(provs); y++ {
+				pm.GetOrAdd(provs[x], provs[y])
+			}
+		}
+	}
+}
+
+// AllPairsInto registers every co-occurring source pair (tail included)
+// into pm, resetting it first — the universe the cross-round structural
+// cache counts shared items for.
+func AllPairsInto(s *Structure, pm *PairMap) {
+	pm.Reset()
+	for e := 0; e < s.NumEntries(); e++ {
+		provs := s.Providers(int32(e))
+		for x := 0; x < len(provs); x++ {
+			for y := x + 1; y < len(provs); y++ {
+				pm.GetOrAdd(provs[x], provs[y])
+			}
+		}
+	}
+}
+
+// SharedItemCountsBits computes l(S1,S2) for every pair in pm via the
+// per-source item bitsets: one AND+popcount sweep per pair instead of a
+// sorted-list merge. Requires s.ItemBits (the caller falls back to
+// SharedItemCounts when the memory guard disabled bitsets). counts must
+// have length pm.Len().
+func SharedItemCountsBits(s *Structure, pm *PairMap, counts []int32) {
+	for slot, key := range pm.Keys() {
+		s1, s2 := key.Sources()
+		counts[slot] = int32(bitset.AndCount(s.ItemBits[s1], s.ItemBits[s2]))
+	}
+}

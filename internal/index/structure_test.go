@@ -1,0 +1,140 @@
+package index
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"copydetect/internal/bayes"
+	"copydetect/internal/dataset"
+)
+
+// randomIndexInstance builds a random dataset plus a valid state, local to
+// this package (the core package has its own copy; duplicating ~30 lines
+// beats an import cycle through a shared helper package).
+func randomIndexInstance(rng *rand.Rand, ns, ni int) (*dataset.Dataset, *bayes.State) {
+	b := dataset.NewBuilder()
+	names := make([]string, ni)
+	for d := 0; d < ni; d++ {
+		names[d] = "D" + string(rune('A'+d%26)) + string(rune('a'+(d/26)%26))
+		b.Item(names[d])
+	}
+	for s := 0; s < ns; s++ {
+		src := "S" + string(rune('A'+s))
+		b.Source(src)
+		cov := 0.2 + 0.8*rng.Float64()
+		for d := 0; d < ni; d++ {
+			if rng.Float64() < cov {
+				b.Add(src, names[d], "v"+string(rune('0'+rng.Intn(5))))
+			}
+		}
+	}
+	ds := b.Build()
+	valueCounts := make([]int, ds.NumItems())
+	for d := range valueCounts {
+		valueCounts[d] = ds.NumValues(dataset.ItemID(d))
+	}
+	st := bayes.NewState(valueCounts, ds.NumSources(), 0.8)
+	for s := range st.A {
+		st.A[s] = 0.05 + 0.9*rng.Float64()
+	}
+	for d := range st.P {
+		for v := range st.P[d] {
+			st.P[d][v] = 0.01 + 0.98*rng.Float64()
+		}
+	}
+	return ds, st
+}
+
+// TestViewMatchesBuild: the SoA Structure/View pair must present exactly
+// the index the classic Build constructs — same entries in the same scan
+// position, same scores, same tail set, same remaining-score maxima. The
+// kernels consume the View; this pins it to the reference implementation.
+func TestViewMatchesBuild(t *testing.T) {
+	p := exampleParams()
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ds, st := randomIndexInstance(rng, 4+rng.Intn(8), 10+rng.Intn(40))
+		for _, ord := range []Order{ByContribution, ByProvider} {
+			idx := Build(ds, st, p, ord, nil)
+			str := NewStructure(ds)
+			v := NewView(str)
+			v.Rescore(st, p, ord, nil)
+
+			if str.NumEntries() != idx.NumEntries() {
+				t.Fatalf("seed %d %v: %d entries, Build has %d", seed, ord, str.NumEntries(), idx.NumEntries())
+			}
+			if v.TailScoreSum != idx.TailScoreSum {
+				t.Fatalf("seed %d %v: tail sum %v vs %v", seed, ord, v.TailScoreSum, idx.TailScoreSum)
+			}
+			for pos, eid := range v.Order {
+				e := idx.Entries[pos]
+				if str.Item[eid] != e.Item || str.Val[eid] != e.Value {
+					t.Fatalf("seed %d %v pos %d: entry (%d,%d) vs (%d,%d)",
+						seed, ord, pos, str.Item[eid], str.Val[eid], e.Item, e.Value)
+				}
+				if v.P[eid] != e.P || v.Pop[eid] != e.Pop || v.Score[eid] != e.Score {
+					t.Fatalf("seed %d %v pos %d: P/Pop/Score mismatch", seed, ord, pos)
+				}
+				if !slices.Equal(str.Providers(eid), e.Providers) {
+					t.Fatalf("seed %d %v pos %d: providers %v vs %v",
+						seed, ord, pos, str.Providers(eid), e.Providers)
+				}
+				if v.MaxRemaining[pos] != idx.MaxRemaining[pos] {
+					t.Fatalf("seed %d %v pos %d: MaxRemaining %v vs %v",
+						seed, ord, pos, v.MaxRemaining[pos], idx.MaxRemaining[pos])
+				}
+				// Tail membership is a property of the entry, not the
+				// position; Build indexes it by position.
+				if v.InTail[eid] != idx.InTail[pos] {
+					t.Fatalf("seed %d %v pos %d: InTail %v vs %v",
+						seed, ord, pos, v.InTail[eid], idx.InTail[pos])
+				}
+			}
+			// Candidate pairs agree too.
+			pmNew := NewPairMap(ds.NumSources())
+			CandidatePairsInto(v, pmNew)
+			pmOld := CandidatePairs(idx, ds.NumSources())
+			if !slices.Equal(pmNew.Keys(), pmOld.Keys()) {
+				t.Fatalf("seed %d %v: candidate pairs differ", seed, ord)
+			}
+		}
+	}
+}
+
+// TestViewRescoreReusesBuffers: a second Rescore must not grow any slice —
+// the steady-state rounds of the iterative process rely on it.
+func TestViewRescoreReusesBuffers(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ds, st := randomIndexInstance(rng, 6, 30)
+	p := exampleParams()
+	str := NewStructure(ds)
+	v := NewView(str)
+	v.Rescore(st, p, ByContribution, nil)
+	if n := testing.AllocsPerRun(10, func() {
+		v.Rescore(st, p, ByContribution, nil)
+	}); n > 0 {
+		t.Errorf("Rescore allocated %v times per run, want 0", n)
+	}
+}
+
+// TestSharedItemCountsBitsMatchesMerge: the bitset popcount path must
+// produce exactly the sorted-merge shared-item counts for every pair.
+func TestSharedItemCountsBitsMatchesMerge(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ds, _ := randomIndexInstance(rng, 4+rng.Intn(10), 10+rng.Intn(60))
+		str := NewStructure(ds)
+		if str.ItemBits == nil {
+			t.Fatal("bitsets unexpectedly disabled on a small dataset")
+		}
+		pm := NewPairMap(ds.NumSources())
+		AllPairsInto(str, pm)
+		got := make([]int32, pm.Len())
+		SharedItemCountsBits(str, pm, got)
+		want := SharedItemCounts(ds, pm)
+		if !slices.Equal(got, want) {
+			t.Fatalf("seed %d: bitset counts %v != merge counts %v", seed, got, want)
+		}
+	}
+}

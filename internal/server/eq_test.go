@@ -1,0 +1,33 @@
+package server
+
+import (
+	"reflect"
+
+	"copydetect/internal/dataset"
+)
+
+// eqDataset compares dataset content, ignoring the Generation identity
+// stamp: every Build/Decode mints a fresh generation by design (it exists
+// to distinguish recreated datasets, not to describe their data).
+func eqDataset(a, b *dataset.Dataset) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	ca, cb := *a, *b
+	ca.Generation, cb.Generation = 0, 0
+	return reflect.DeepEqual(&ca, &cb)
+}
+
+// eqPublished is reflect.DeepEqual over Published with the snapshots'
+// Generation stamps masked out.
+func eqPublished(a, b *Published) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if !eqDataset(a.Snapshot, b.Snapshot) {
+		return false
+	}
+	ca, cb := *a, *b
+	ca.Snapshot, cb.Snapshot = nil, nil
+	return reflect.DeepEqual(&ca, &cb)
+}

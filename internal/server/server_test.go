@@ -124,7 +124,7 @@ func TestStreamedEqualsBatch(t *testing.T) {
 				b.SetTruth(tr.Item, tr.Value)
 			}
 			final := b.Build()
-			if !reflect.DeepEqual(pub.Snapshot, final) {
+			if !eqDataset(pub.Snapshot, final) {
 				t.Fatal("published snapshot differs from batch-built dataset")
 			}
 

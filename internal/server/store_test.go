@@ -84,7 +84,7 @@ func TestDurableCleanRestartServesSnapshot(t *testing.T) {
 	if got == nil {
 		t.Fatal("restarted dataset published nothing")
 	}
-	if !reflect.DeepEqual(got, want) {
+	if !eqPublished(got, want) {
 		t.Fatal("published state differs after clean restart")
 	}
 	if inf := m2.Info(); inf.Version != want.Version || inf.Observations != ds.NumObservations() {
@@ -151,7 +151,7 @@ func TestDurableRecoveryReplaysWALWithoutSnapshot(t *testing.T) {
 		b.SetTruth(tr.Item, tr.Value)
 	}
 	final := b.Build()
-	if !reflect.DeepEqual(pub.Snapshot, final) {
+	if !eqDataset(pub.Snapshot, final) {
 		t.Fatal("recovered snapshot differs from batch-built dataset")
 	}
 	params := bayes.DefaultParams()
