@@ -1,0 +1,40 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestListNamesEveryAnalyzer(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatalf("run -list: %v", err)
+	}
+	for _, name := range []string{"detrange", "hotalloc", "tracehop", "metriclabel", "stickycheck"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestUnknownAnalyzerIsToolError(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-run", "nope"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "unknown analyzer") {
+		t.Fatalf("want unknown-analyzer error, got %v", err)
+	}
+	if _, ok := err.(errFindings); ok {
+		t.Fatal("unknown analyzer misclassified as findings (exit 1); it is a tool error (exit 2)")
+	}
+}
+
+func TestCleanPackageExitsZero(t *testing.T) {
+	// Module-path pattern, so the test works from the package directory.
+	var out strings.Builder
+	if err := run([]string{"-run", "stickycheck,metriclabel", "copydetect/internal/binio"}, &out); err != nil {
+		t.Fatalf("run over clean package: %v\n%s", err, out.String())
+	}
+	if strings.Contains(out.String(), "finding(s)") {
+		t.Errorf("unexpected findings:\n%s", out.String())
+	}
+}

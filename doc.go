@@ -138,6 +138,17 @@
 // bound, and cmd/copyload honors the hint, retrying the batch and
 // reporting it as throttled rather than failed.
 //
+// # Static analysis
+//
+// The repo polices its own invariants statically: internal/analysis
+// (stdlib-only) implements five contract analyzers — determinism
+// hygiene in the engine packages, zero-alloc hot paths, trace
+// propagation in the cluster layer, metric label cardinality, and the
+// binio sticky-error discipline — driven by //copydetect: annotations
+// in the source. They run as `go run ./cmd/copyvet ./...`, inside
+// plain `go test ./...`, and in CI. See the "Static analysis
+// (copyvet)" section of DESIGN.md.
+//
 // # Quick start
 //
 //	b := copydetect.NewBuilder()

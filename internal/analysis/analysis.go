@@ -1,0 +1,128 @@
+// Package analysis is the repo's custom static-analysis suite — the
+// engine behind `go run ./cmd/copyvet ./...` and the whole-repo
+// self-test that makes tier-1 `go test ./...` fail on a contract
+// violation.
+//
+// The runtime tests prove the system's invariants on the code paths
+// they exercise; the analyzers here prove them over all code:
+//
+//   - detrange: deterministic packages must not iterate maps without an
+//     order-invariance justification, call the unseeded global
+//     math/rand source, or read the wall clock outside timer patterns
+//     (bit-identical results for any worker count, PR 1/9).
+//   - hotalloc: functions reachable from //copydetect:hotpath roots
+//     must not contain allocating constructs (the zero-alloc
+//     INCREMENTAL steady state, PR 9).
+//   - tracehop: outbound requests in internal/cluster must be built by
+//     the trace-propagating helper (X-Copydetect-Trace end-to-end,
+//     PR 6).
+//   - metriclabel: labeled telemetry metrics take constant label keys
+//     and bounded label values (metric cardinality, PR 6).
+//   - stickycheck: internal/binio readers and writers have their
+//     latched error observed after the last decode/encode.
+//
+// Everything is stdlib-only: go/parser + go/types over packages
+// discovered with `go list` (load.go). The annotation grammar the
+// analyzers consume is defined in annot.go, the repo-specific
+// configuration in config.go.
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Diagnostic is one analyzer finding, positioned for file:line:col
+// reporting.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named check run over a whole Program. Run reports
+// findings through pass.Report; an error return means the analyzer
+// itself failed (never that the code is in violation).
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(pass *Pass) error
+}
+
+// Pass carries one analyzer's run over one program.
+type Pass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+	Config   *Config
+	Annots   *Annotations
+
+	diags *[]Diagnostic
+}
+
+// Report records a finding at pos.
+func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Prog.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		DetRange,
+		HotAlloc,
+		TraceHop,
+		MetricLabel,
+		StickyCheck,
+	}
+}
+
+// ByName returns the named analyzer, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Run executes the given analyzers over prog under cfg and returns
+// their findings sorted by position (filename, line, column), so output
+// is stable regardless of analyzer or package order.
+func Run(prog *Program, cfg *Config, analyzers []*Analyzer) ([]Diagnostic, error) {
+	annots, err := CollectAnnotations(prog)
+	if err != nil {
+		return nil, err
+	}
+	// Malformed or misplaced directives are findings in their own right,
+	// whatever analyzer subset was requested.
+	diags := append([]Diagnostic(nil), annots.diags...)
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Prog: prog, Config: cfg, Annots: annots, diags: &diags}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analysis: %s: %v", a.Name, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}

@@ -1,0 +1,185 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// The annotation grammar. Annotations are directive comments (no space
+// after the slashes, like go:build), so prose that merely mentions one
+// never parses as one:
+//
+//	copydetect:deterministic
+//	    In a package doc comment: every file of the package is under
+//	    the determinism contract. In any other comment of a file: that
+//	    file alone is.
+//
+//	copydetect:hotpath
+//	    On a function declaration, or on the assignment of a function
+//	    literal: the function is a zero-alloc root; hotalloc walks the
+//	    static call graph from it.
+//
+//	copydetect:orderinvariant <justification>
+//	    On a range-over-map statement inside deterministic code: the
+//	    loop is exempt from detrange because its effect does not depend
+//	    on iteration order. The justification is mandatory — an
+//	    exemption nobody can audit is a contract hole, and the missing
+//	    text is itself reported as a diagnostic.
+const directivePrefix = "//copydetect:"
+
+// Annotations is the parsed annotation state of a Program, plus the
+// diagnostics for malformed or misplaced directives (always reported,
+// whichever analyzers run).
+type Annotations struct {
+	pkgs  map[*Package]*pkgAnnots
+	diags []Diagnostic
+}
+
+type pkgAnnots struct {
+	deterministicPkg   bool
+	deterministicFiles map[*ast.File]bool
+	hotDecls           []*ast.FuncDecl
+	hotLits            []HotLit
+	orderInv           map[*ast.RangeStmt]string
+}
+
+// HotLit is a function literal annotated as a hot-path root, named after
+// the assignment target for diagnostics ("d.classifyFn").
+type HotLit struct {
+	Lit  *ast.FuncLit
+	Name string
+}
+
+// DeterministicPkg reports whether the whole package carries the
+// determinism annotation.
+func (a *Annotations) DeterministicPkg(pkg *Package) bool {
+	pa := a.pkgs[pkg]
+	return pa != nil && pa.deterministicPkg
+}
+
+// DeterministicFile reports whether file (or its whole package) carries
+// the determinism annotation.
+func (a *Annotations) DeterministicFile(pkg *Package, file *ast.File) bool {
+	pa := a.pkgs[pkg]
+	return pa != nil && (pa.deterministicPkg || pa.deterministicFiles[file])
+}
+
+// HotRoots returns the package's annotated zero-alloc root functions:
+// declarations and assigned function literals.
+func (a *Annotations) HotRoots(pkg *Package) ([]*ast.FuncDecl, []HotLit) {
+	pa := a.pkgs[pkg]
+	if pa == nil {
+		return nil, nil
+	}
+	return pa.hotDecls, pa.hotLits
+}
+
+// OrderInvariant returns the justification of an order-invariance
+// exemption on the given range statement, if one is present (malformed
+// directives with an empty justification are not present here — they
+// are already in the diagnostics).
+func (a *Annotations) OrderInvariant(pkg *Package, rs *ast.RangeStmt) (string, bool) {
+	pa := a.pkgs[pkg]
+	if pa == nil {
+		return "", false
+	}
+	just, ok := pa.orderInv[rs]
+	return just, ok
+}
+
+// CollectAnnotations parses every directive comment in the program.
+func CollectAnnotations(prog *Program) (*Annotations, error) {
+	a := &Annotations{pkgs: make(map[*Package]*pkgAnnots)}
+	for _, pkg := range prog.Pkgs {
+		a.collectPackage(prog, pkg)
+	}
+	return a, nil
+}
+
+// collectPackage is split out so fixture packages loaded with LoadDir
+// can be annotated too.
+func (a *Annotations) collectPackage(prog *Program, pkg *Package) {
+	pa := &pkgAnnots{
+		deterministicFiles: make(map[*ast.File]bool),
+		orderInv:           make(map[*ast.RangeStmt]string),
+	}
+	a.pkgs[pkg] = pa
+	for _, file := range pkg.Files {
+		// Invert the comment map: comment group -> owning node.
+		cm := ast.NewCommentMap(prog.Fset, file, file.Comments)
+		owner := make(map[*ast.CommentGroup]ast.Node)
+		for node, groups := range cm {
+			for _, g := range groups {
+				owner[g] = node
+			}
+		}
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				verb, rest, _ := strings.Cut(strings.TrimPrefix(c.Text, directivePrefix), " ")
+				rest = strings.TrimSpace(rest)
+				report := func(format string, args ...any) {
+					a.diags = append(a.diags, Diagnostic{
+						Pos:      prog.Fset.Position(c.Pos()),
+						Analyzer: "annotation",
+						Message:  fmt.Sprintf(format, args...),
+					})
+				}
+				switch verb {
+				case "deterministic":
+					if group == file.Doc {
+						pa.deterministicPkg = true
+					} else {
+						pa.deterministicFiles[file] = true
+					}
+				case "hotpath":
+					switch node := owner[group].(type) {
+					case *ast.FuncDecl:
+						pa.hotDecls = append(pa.hotDecls, node)
+					case *ast.AssignStmt:
+						lit, name := funcLitOf(node)
+						if lit == nil {
+							report("copydetect:hotpath on an assignment with no function literal")
+							continue
+						}
+						pa.hotLits = append(pa.hotLits, HotLit{Lit: lit, Name: name})
+					default:
+						report("copydetect:hotpath must annotate a function declaration or a function-literal assignment")
+					}
+				case "orderinvariant":
+					rs, ok := owner[group].(*ast.RangeStmt)
+					if !ok {
+						report("copydetect:orderinvariant must annotate a range statement")
+						continue
+					}
+					if rest == "" {
+						report("copydetect:orderinvariant requires a justification (why is this loop's effect independent of iteration order?)")
+						continue
+					}
+					pa.orderInv[rs] = rest
+				default:
+					report("unknown copydetect directive %q", verb)
+				}
+			}
+		}
+	}
+}
+
+// funcLitOf returns the first function literal among an assignment's
+// right-hand sides and the matching left-hand side's source text.
+func funcLitOf(as *ast.AssignStmt) (*ast.FuncLit, string) {
+	for i, rhs := range as.Rhs {
+		if lit, ok := rhs.(*ast.FuncLit); ok {
+			name := "func literal"
+			if i < len(as.Lhs) {
+				name = types.ExprString(as.Lhs[i])
+			}
+			return lit, name
+		}
+	}
+	return nil, ""
+}

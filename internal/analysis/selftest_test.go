@@ -1,0 +1,31 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRepoContracts runs the full analyzer suite over every module
+// package, so plain tier-1 `go test ./...` fails when a change violates
+// a contract the analyzers police — no separate lint invocation needed.
+// Fixture packages under testdata/ violate on purpose and are excluded.
+func TestRepoContracts(t *testing.T) {
+	prog := loadShared(t)
+	diags, err := Run(prog, DefaultConfig(), Analyzers())
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	var bad []string
+	for _, d := range diags {
+		if strings.Contains(filepath.ToSlash(d.Pos.Filename), "/testdata/") ||
+			strings.HasPrefix(filepath.ToSlash(d.Pos.Filename), "testdata/") {
+			continue
+		}
+		bad = append(bad, d.String())
+	}
+	if len(bad) > 0 {
+		t.Errorf("contract violations (fix the code or annotate with a justification):\n  %s",
+			strings.Join(bad, "\n  "))
+	}
+}

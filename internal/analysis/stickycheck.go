@@ -1,0 +1,182 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// StickyCheck enforces the binio sticky-error discipline. The codec
+// types latch their first error and return zero values forever after,
+// which keeps decode loops branch-free — but only if someone eventually
+// looks at Err(). errcheck cannot see this: the decode methods return
+// plain values, so nothing syntactically "ignores an error".
+//
+// Per function, for each *binio.Reader / *binio.Writer:
+//
+//   - a function that CREATES the codec (binio.NewReader/NewWriter),
+//     decodes through it, never lets it escape, and never calls Err()
+//     has dropped the error on the floor — every decoded value is
+//     untrustworthy;
+//   - in a function that does call Err(), a decode lexically after the
+//     last Err() call (and after the last escape) produces a value no
+//     subsequent check covers.
+//
+// A codec received as a parameter and never Err()-checked is the
+// delegation pattern (the caller owns the final check) and is fine.
+var StickyCheck = &Analyzer{
+	Name: "stickycheck",
+	Doc:  "binio sticky-error codecs must have Err observed after the last decode",
+	Run:  runStickyCheck,
+}
+
+func runStickyCheck(pass *Pass) error {
+	for _, pkg := range pass.Prog.Pkgs {
+		if pkg.Path == pass.Config.BinioPkg {
+			continue // the codec's own internals manage the latch directly
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkSticky(pass, pkg, fd)
+			}
+		}
+	}
+	return nil
+}
+
+type codecUse struct {
+	created    bool
+	lastDecode token.Pos
+	lastErr    token.Pos
+	lastEscape token.Pos
+	decodes    int
+}
+
+func checkSticky(pass *Pass, pkg *Package, fd *ast.FuncDecl) {
+	binioPkg := pass.Config.BinioPkg
+	parents := parentMap(fd)
+	uses := make(map[*types.Var]*codecUse)
+
+	track := func(obj types.Object, created bool) *codecUse {
+		v, ok := obj.(*types.Var)
+		if !ok || !isBinioCodec(v.Type(), binioPkg) {
+			return nil
+		}
+		cu := uses[v]
+		if cu == nil {
+			cu = &codecUse{}
+			uses[v] = cu
+		}
+		cu.created = cu.created || created
+		return cu
+	}
+
+	// Parameters (and named results) are tracked as non-created.
+	if scope, ok := pkg.Info.Scopes[fd.Type]; ok {
+		for _, name := range scope.Names() {
+			track(scope.Lookup(name), false)
+		}
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || i >= len(n.Rhs) {
+					continue
+				}
+				obj := pkg.Info.Defs[id]
+				if obj == nil {
+					obj = pkg.Info.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				track(obj, isCodecCtor(pkg.Info, n.Rhs[i], binioPkg))
+			}
+		case *ast.Ident:
+			obj := pkg.Info.Uses[n]
+			v, ok := obj.(*types.Var)
+			if !ok || !isBinioCodec(v.Type(), binioPkg) {
+				return true
+			}
+			cu := uses[v]
+			if cu == nil {
+				return true
+			}
+			// Receiver of a method call, or some other (escaping) use?
+			if sel, ok := parents[n].(*ast.SelectorExpr); ok && sel.X == n {
+				if call, ok := parents[sel].(*ast.CallExpr); ok && call.Fun == sel {
+					if sel.Sel.Name == "Err" {
+						if n.Pos() > cu.lastErr {
+							cu.lastErr = n.Pos()
+						}
+					} else {
+						cu.decodes++
+						if n.Pos() > cu.lastDecode {
+							cu.lastDecode = n.Pos()
+						}
+					}
+					return true
+				}
+			}
+			if as, ok := parents[n].(*ast.AssignStmt); ok {
+				// The binding itself (LHS) is not a use.
+				for _, lhs := range as.Lhs {
+					if lhs == ast.Expr(n) {
+						return true
+					}
+				}
+			}
+			if n.Pos() > cu.lastEscape {
+				cu.lastEscape = n.Pos()
+			}
+		}
+		return true
+	})
+
+	for _, cu := range uses {
+		switch {
+		case cu.decodes == 0:
+			// Nothing decoded here; nothing to check.
+		case cu.lastErr == token.NoPos:
+			if cu.created && cu.lastEscape == token.NoPos {
+				pass.Report(cu.lastDecode, "codec created here is decoded but its sticky Err is never checked; every decoded value may be garbage")
+			}
+			// Parameter or escaping codec with no Err call: the caller
+			// owns the final check (DecodeStats-style delegation).
+		case cu.lastDecode > cu.lastErr && cu.lastDecode > cu.lastEscape:
+			pass.Report(cu.lastDecode, "decode after the last Err check; this value is used with no subsequent sticky-error check")
+		}
+	}
+}
+
+// isBinioCodec reports whether t is (a pointer to) a named type of the
+// binio package.
+func isBinioCodec(t types.Type, binioPkg string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == binioPkg &&
+		(obj.Name() == "Reader" || obj.Name() == "Writer")
+}
+
+// isCodecCtor reports whether e is a call to binio.NewReader/NewWriter.
+func isCodecCtor(info *types.Info, e ast.Expr, binioPkg string) bool {
+	call, ok := unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeFunc(info, call)
+	return isPkgFunc(fn, binioPkg, "NewReader") || isPkgFunc(fn, binioPkg, "NewWriter")
+}

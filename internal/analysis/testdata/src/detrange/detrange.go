@@ -1,0 +1,66 @@
+// Package detrangefix is the detrange fixture: deterministic by
+// annotation, with one violation of each rule next to one valid
+// exemption of the same shape.
+//
+//copydetect:deterministic
+package detrangefix
+
+import (
+	"math/rand"
+	"time"
+)
+
+// sum is order-invariant and says why: no diagnostic.
+func sum(m map[string]int) int {
+	t := 0
+	//copydetect:orderinvariant commutative sum; iteration order is never observed
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+// keys leaks map iteration order into a slice: diagnostic.
+func keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// lazyExempt carries the annotation but no justification: the grammar
+// itself reports that, and the bare loop stays flagged too.
+func lazyExempt(m map[string]int) int {
+	t := 0
+	//copydetect:orderinvariant
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+// seeded threads an explicit source: no diagnostic.
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// unseeded draws from the process-global source: diagnostic.
+func unseeded() int {
+	return rand.Intn(10)
+}
+
+// timed measures a duration with the timer idiom: no diagnostic.
+func timed() time.Duration {
+	start := time.Now()
+	work()
+	return time.Since(start)
+}
+
+// stamped leaks the wall clock into output: diagnostic.
+func stamped() int64 {
+	return time.Now().UnixNano()
+}
+
+func work() {}

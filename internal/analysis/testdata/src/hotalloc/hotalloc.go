@@ -1,0 +1,53 @@
+// Package hotallocfix is the hotalloc fixture: one clean hot root that
+// uses only permitted constructs, one hot root hitting every allocating
+// construct, and a helper proving the walk follows static calls.
+package hotallocfix
+
+import "math"
+
+// hotClean is allocation-free: arithmetic, an allowlisted math call,
+// and append into a capacity-reused scratch buffer.
+//
+//copydetect:hotpath
+func hotClean(buf, xs []float64) float64 {
+	out := buf[:0]
+	for _, x := range xs {
+		out = append(out, math.Sqrt(x))
+	}
+	s := 0.0
+	for _, v := range out {
+		s += v
+	}
+	return s
+}
+
+// hotDirty trips one diagnostic per allocating construct.
+//
+//copydetect:hotpath
+func hotDirty(xs []float64, n int, name string) string {
+	tmp := make([]float64, n)
+	var grown []float64
+	grown = append(grown, tmp...)
+	pair := []int{n, n}
+	var sink interface{}
+	sink = n
+	_, _ = sink, pair
+	go spin()
+	f := func() int { return n }
+	_ = f()
+	label := name + "!"
+	raw := []byte(label)
+	_ = raw
+	return scratch(label)
+}
+
+// scratch is reachable from hotDirty: its allocation is charged to the
+// root that reaches it.
+func scratch(s string) string {
+	box := &node{val: s}
+	return box.val
+}
+
+type node struct{ val string }
+
+func spin() {}

@@ -1,0 +1,24 @@
+// Package metriclabelfix is the metriclabel fixture: constant and
+// normalized label traffic next to unbounded values and non-constant
+// keys.
+package metriclabelfix
+
+import "copydetect/internal/telemetry"
+
+// record exercises the key and value rules.
+func record(reg *telemetry.Registry, path, raw string) {
+	dynamicKey := raw
+	v := reg.CounterVec("fix_requests_total", "Fixture counter.",
+		"route", dynamicKey)
+	const method = "GET"
+	algo := "HYBRID"
+	if raw != "" {
+		algo = "INCREMENTAL"
+	}
+	v.With(telemetry.NormalizeRoute(path), method).Inc()
+	v.With(raw, algo).Inc()
+	reg.GaugeFunc("fix_gauge", "Fixture gauge.", []string{"shard"},
+		func(emit func(v float64, labelValues ...string)) {
+			emit(1, raw)
+		})
+}

@@ -1,0 +1,47 @@
+// Package stickycheckfix is the stickycheck fixture: the two ways to
+// drop a sticky error next to the three blessed patterns (check at the
+// end, delegate via parameter, hand off to a delegate).
+package stickycheckfix
+
+import (
+	"bytes"
+
+	"copydetect/internal/binio"
+)
+
+// decodeChecked decodes and then observes Err: no diagnostic.
+func decodeChecked(b []byte) (uint64, error) {
+	r := binio.NewReader(bytes.NewReader(b))
+	x := r.Uvarint()
+	return x, r.Err()
+}
+
+// decodeUnchecked creates, decodes, and never checks: diagnostic.
+func decodeUnchecked(b []byte) uint64 {
+	r := binio.NewReader(bytes.NewReader(b))
+	return r.Uvarint()
+}
+
+// decodeAfterCheck decodes again after the last Err call: diagnostic.
+func decodeAfterCheck(b []byte) (uint64, uint64, error) {
+	r := binio.NewReader(bytes.NewReader(b))
+	a := r.Uvarint()
+	err := r.Err()
+	bb := r.Uvarint()
+	return a, bb, err
+}
+
+// delegated receives the codec as a parameter and never checks: the
+// caller owns the final Err, so no diagnostic.
+func delegated(r *binio.Reader) uint64 {
+	return r.Uvarint()
+}
+
+// escapes hands the codec to a delegate and checks at the end: no
+// diagnostic.
+func escapes(b []byte) (uint64, uint64, error) {
+	r := binio.NewReader(bytes.NewReader(b))
+	x := r.Uvarint()
+	y := delegated(r)
+	return x, y, r.Err()
+}

@@ -1,0 +1,24 @@
+// Package tracehopfix is the tracehop fixture: one allowlisted helper
+// and two ways of hand-building a request outside it.
+package tracehopfix
+
+import (
+	"context"
+	"net/http"
+)
+
+// okHelper is the fixture's configured trace helper; building the
+// request here is the point.
+func okHelper(ctx context.Context, url string) (*http.Request, error) {
+	return http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+}
+
+// direct builds a request outside the helper: diagnostic.
+func direct(url string) (*http.Request, error) {
+	return http.NewRequest(http.MethodGet, url, nil)
+}
+
+// literal hand-rolls a request value: diagnostic.
+func literal() *http.Request {
+	return &http.Request{Method: http.MethodGet}
+}

@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// TraceHop keeps X-Copydetect-Trace alive across every hop. The e2e
+// tests prove the trace survives the proxy path they drive; this
+// analyzer proves no outbound request can be built without it: inside
+// Config.TracePkgs, every construction of an *http.Request —
+// http.NewRequest, http.NewRequestWithContext, or a raw &http.Request
+// literal — must happen inside one of the Config.TraceHelpers
+// functions, which own the header-propagation logic. A new fan-out,
+// probe, or mirror hop added with a bare http.NewRequestWithContext is
+// a diagnostic, not a silent trace hole.
+var TraceHop = &Analyzer{
+	Name: "tracehop",
+	Doc:  "outbound http.Requests in cluster code must be built by the trace-propagating helper",
+	Run:  runTraceHop,
+}
+
+func runTraceHop(pass *Pass) error {
+	for _, pkg := range pass.Prog.Pkgs {
+		if !pass.Config.tracePkg(pkg.Path) {
+			continue
+		}
+		for _, file := range pkg.Files {
+			parents := parentMap(file)
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					fn := calleeFunc(pkg.Info, n)
+					if fn == nil || !isRequestCtor(fn) {
+						return true
+					}
+					if enclosingHelper(pass, pkg, parents, n) == "" {
+						pass.Report(n.Pos(), "outbound request built with %s outside a trace helper; use newTracedRequest so X-Copydetect-Trace propagates", fn.Name())
+					}
+				case *ast.CompositeLit:
+					if t := pkg.Info.Types[n].Type; t != nil && isHTTPRequest(t) {
+						if enclosingHelper(pass, pkg, parents, n) == "" {
+							pass.Report(n.Pos(), "http.Request literal outside a trace helper; use newTracedRequest so X-Copydetect-Trace propagates")
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// isRequestCtor matches net/http's request constructors.
+func isRequestCtor(fn *types.Func) bool {
+	return (isPkgFunc(fn, "net/http", "NewRequest") || isPkgFunc(fn, "net/http", "NewRequestWithContext"))
+}
+
+// isHTTPRequest reports whether t is net/http.Request.
+func isHTTPRequest(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Request" && obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
+}
+
+// enclosingHelper returns the allowlisted trace-helper name the node is
+// (transitively) inside, or "".
+func enclosingHelper(pass *Pass, pkg *Package, parents map[ast.Node]ast.Node, n ast.Node) string {
+	for cur := parents[n]; cur != nil; cur = parents[cur] {
+		fd, ok := cur.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok && pass.Config.traceHelper(fn.FullName()) {
+			return fn.FullName()
+		}
+		return ""
+	}
+	return ""
+}

@@ -5,6 +5,8 @@
 // Pr(S1⊥S2|Φ) (Eq. 1–2), the decision thresholds θcp and θind of
 // Section IV-A, and the maximum entry contribution M̂(D.v) of
 // Proposition 3.1.
+//
+//copydetect:deterministic
 package bayes
 
 import (

@@ -7,6 +7,8 @@
 // Both Writer and Reader latch their first error and turn every later
 // call into a no-op, so codec code reads as straight-line field lists
 // with a single error check at the end.
+//
+//copydetect:deterministic
 package binio
 
 import (

@@ -350,13 +350,12 @@ func (g *Gateway) serveRead(w http.ResponseWriter, req *http.Request, name strin
 		}
 		pos = next
 		b := g.backends[members[pos]]
-		out, err := http.NewRequestWithContext(req.Context(), req.Method,
-			b.url+req.URL.RequestURI(), nil)
+		out, err := newTracedRequest(req.Context(), req.Method,
+			b.url+req.URL.RequestURI(), nil, req, "")
 		if err != nil {
 			writeErr(w, http.StatusInternalServerError, fmt.Sprintf("cluster: %v", err))
 			return
 		}
-		copyHeader(out.Header, req.Header)
 		resp, err := g.client.Do(out)
 		if err != nil {
 			lastErr = err
@@ -463,14 +462,13 @@ func (g *Gateway) serveWrite(w http.ResponseWriter, req *http.Request, name stri
 		// had for an unresponsive owner.
 		ctx, cancel := context.WithTimeout(req.Context(), writeTimeout)
 		b := g.backends[members[pos]]
-		out, err := http.NewRequestWithContext(ctx, req.Method,
-			b.url+req.URL.RequestURI(), bytes.NewReader(body))
+		out, err := newTracedRequest(ctx, req.Method,
+			b.url+req.URL.RequestURI(), bytes.NewReader(body), req, "")
 		if err != nil {
 			cancel()
 			writeErr(w, http.StatusInternalServerError, fmt.Sprintf("cluster: %v", err))
 			return
 		}
-		copyHeader(out.Header, req.Header)
 		out.ContentLength = int64(len(body))
 		resp, err := g.client.Do(out)
 		if err != nil {
@@ -533,8 +531,8 @@ func (g *Gateway) writeSingle(w http.ResponseWriter, req *http.Request, name str
 			fmt.Sprintf("cluster: backend %s (owner of dataset %q) is unavailable", b.url, name))
 		return
 	}
-	out, err := http.NewRequestWithContext(req.Context(), req.Method,
-		b.url+req.URL.RequestURI(), req.Body)
+	out, err := newTracedRequest(req.Context(), req.Method,
+		b.url+req.URL.RequestURI(), req.Body, req, "")
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, fmt.Sprintf("cluster: %v", err))
 		return
@@ -542,7 +540,6 @@ func (g *Gateway) writeSingle(w http.ResponseWriter, req *http.Request, name str
 	// Streamed pass-through: preserve the client's Content-Length
 	// instead of degrading to chunked encoding.
 	out.ContentLength = req.ContentLength
-	copyHeader(out.Header, req.Header)
 	resp, err := g.client.Do(out)
 	if err != nil {
 		if req.Context().Err() == nil {
@@ -604,7 +601,10 @@ func (g *Gateway) list(w http.ResponseWriter, req *http.Request) {
 		wg.Add(1)
 		go func(i int, b *backend) {
 			defer wg.Done()
-			out, err := http.NewRequestWithContext(ctx, http.MethodGet, b.url+"/v1/datasets", nil)
+			// Trace only, not the full client header set: a conditional
+			// header (If-None-Match) aimed at the merged list must not
+			// leak into the per-backend fetches.
+			out, err := newTracedRequest(ctx, http.MethodGet, b.url+"/v1/datasets", nil, nil, traceOf(req))
 			if err != nil {
 				return
 			}

@@ -134,7 +134,7 @@ func (g *Gateway) monitor(b *backend) {
 func (g *Gateway) probe(b *backend) {
 	ctx, cancel := context.WithTimeout(context.Background(), g.probeTimeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.url+"/healthz", nil)
+	req, err := newTracedRequest(ctx, http.MethodGet, b.url+"/healthz", nil, nil, "")
 	if err != nil {
 		b.reportFailure(g.ejectAfter, err)
 		return

@@ -18,6 +18,7 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -242,7 +243,8 @@ func (g *Gateway) auditVerify(name string, pos int) {
 // from backend member. ok is false when the backend is unreachable or
 // does not hold the dataset.
 func (g *Gateway) fetchVersion(member int, name string) (version uint64, ok bool) {
-	req, err := http.NewRequest(http.MethodGet, g.backends[member].url+"/v1/datasets/"+name, nil)
+	req, err := newTracedRequest(context.Background(), http.MethodGet,
+		g.backends[member].url+"/v1/datasets/"+name, nil, nil, "")
 	if err != nil {
 		return 0, false
 	}
@@ -481,17 +483,15 @@ func (g *Gateway) mirrorOnce(b *backend, j repJob) (int, error) {
 	if j.kind == jobAppend {
 		method = http.MethodPost
 	}
-	req, err := http.NewRequest(method, b.url+j.path, bytes.NewReader(j.body))
+	// The mirror rides under the same trace ID as the client write it
+	// replicates, so one grep follows the write to every member.
+	req, err := newTracedRequest(context.Background(), method, b.url+j.path,
+		bytes.NewReader(j.body), nil, j.trace)
 	if err != nil {
 		return 0, err
 	}
 	if j.ctype != "" {
 		req.Header.Set("Content-Type", j.ctype)
-	}
-	if j.trace != "" {
-		// The mirror rides under the same trace ID as the client write
-		// it replicates, so one grep follows the write to every member.
-		req.Header.Set(telemetry.TraceHeader, j.trace)
 	}
 	if j.kind == jobAppend {
 		req.Header.Set(server.SeqHeader, strconv.FormatUint(j.seq, 10))
@@ -550,7 +550,11 @@ func (g *Gateway) runReconcile(ds *dsState, pos int) {
 		return // no serveable peer to copy from; retried later
 	}
 	path := "/v1/datasets/" + ds.name
-	req, err := http.NewRequest(http.MethodGet, g.backends[src].url+path+"/export", nil)
+	// One trace ID spans the whole reconcile (export, then delete or
+	// import), so the cycle reads as one operation in the access logs.
+	trace := telemetry.NewTraceID()
+	req, err := newTracedRequest(context.Background(), http.MethodGet,
+		g.backends[src].url+path+"/export", nil, nil, trace)
 	if err != nil {
 		return
 	}
@@ -564,7 +568,7 @@ func (g *Gateway) runReconcile(ds *dsState, pos int) {
 	case resp.StatusCode == http.StatusNotFound:
 		// The dataset is gone from its serving peer: propagate the
 		// deletion rather than resurrecting it.
-		dreq, err := http.NewRequest(http.MethodDelete, target.url+path, nil)
+		dreq, err := newTracedRequest(context.Background(), http.MethodDelete, target.url+path, nil, nil, trace)
 		if err != nil {
 			return
 		}
@@ -581,7 +585,8 @@ func (g *Gateway) runReconcile(ds *dsState, pos int) {
 	case resp.StatusCode != http.StatusOK || rerr != nil || len(blob) > maxWriteBody:
 		return
 	}
-	ireq, err := http.NewRequest(http.MethodPost, target.url+path+"/import", bytes.NewReader(blob))
+	ireq, err := newTracedRequest(context.Background(), http.MethodPost,
+		target.url+path+"/import", bytes.NewReader(blob), nil, trace)
 	if err != nil {
 		return
 	}
@@ -611,13 +616,17 @@ func (g *Gateway) audit() {
 	if g.replication < 2 {
 		return
 	}
+	// One trace ID for the whole sweep: the audit is one logical
+	// operation however many backends it lists.
+	trace := telemetry.NewTraceID()
 	versions := make([]map[string]uint64, len(g.backends))
 	names := make(map[string]bool)
 	for i, b := range g.backends {
 		if !b.isHealthy() {
 			continue
 		}
-		req, err := http.NewRequest(http.MethodGet, b.url+"/v1/datasets", nil)
+		req, err := newTracedRequest(context.Background(), http.MethodGet,
+			b.url+"/v1/datasets", nil, nil, trace)
 		if err != nil {
 			continue
 		}

@@ -1,0 +1,45 @@
+package cluster
+
+import (
+	"context"
+	"io"
+	"net/http"
+
+	"copydetect/internal/telemetry"
+)
+
+// newTracedRequest builds every outbound request the gateway makes —
+// the tracehop analyzer rejects any other construction site — so
+// X-Copydetect-Trace provably survives each hop.
+//
+// from, when non-nil, is the inbound client request whose headers the
+// proxy path copies verbatim (hop-by-hop headers stripped), trace ID
+// included. trace, when non-empty, is an explicit ID for hops that
+// outlive the inbound request (async mirror jobs). A request with
+// neither source gets a fresh ID, so gateway-originated traffic —
+// probes, anti-entropy, the startup audit — is greppable end-to-end
+// too.
+func newTracedRequest(ctx context.Context, method, url string, body io.Reader,
+	from *http.Request, trace string) (*http.Request, error) {
+
+	out, err := http.NewRequestWithContext(ctx, method, url, body)
+	if err != nil {
+		return nil, err
+	}
+	if from != nil {
+		copyHeader(out.Header, from.Header)
+	}
+	if trace != "" {
+		out.Header.Set(telemetry.TraceHeader, trace)
+	}
+	if out.Header.Get(telemetry.TraceHeader) == "" {
+		out.Header.Set(telemetry.TraceHeader, telemetry.NewTraceID())
+	}
+	return out, nil
+}
+
+// traceOf extracts the trace ID of an inbound request (the telemetry
+// middleware guarantees one is present).
+func traceOf(req *http.Request) string {
+	return req.Header.Get(telemetry.TraceHeader)
+}

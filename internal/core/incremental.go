@@ -416,6 +416,8 @@ func (d *Incremental) prepare(ds *dataset.Dataset, st *bayes.State, stats *Stats
 // mulContrib folds one co-occurrence into both directional slot
 // accumulators, mirroring two ContribSameDist calls (see prodAccum.mulSame
 // for the pair-at-a-time twin).
+//
+//copydetect:hotpath
 func mulContrib(p bayes.Params, pv, pop, a1, a2 float64,
 	mTo *float64, eTo *int32, mFrom *float64, eFrom *int32) {
 	if pop <= 0 {
@@ -441,6 +443,7 @@ func (d *Incremental) buildClosures() {
 	// accuracies at their base values to isolate value-probability change.
 	// Each entry's drift is a pure function of the entry, so workers take
 	// a strided slice of the entry range and write disjoint slots.
+	//copydetect:hotpath
 	d.classifyFn = func(w int) {
 		p := d.Params
 		str := d.cache.str
@@ -468,6 +471,7 @@ func (d *Incremental) buildClosures() {
 	// per-pair delta accumulators shard exactly like the entry scan
 	// (owner = smaller source id mod workers), and each worker collects
 	// the pairs it touched into a private list merged in shard order.
+	//copydetect:hotpath
 	d.passAFn = func(w int) {
 		const noise = 1e-6
 		p := d.Params
@@ -537,6 +541,7 @@ func (d *Incremental) buildClosures() {
 	// its own slot state and writes only its own decision — so workers
 	// take a strided slice of the slot range; pass counters and stats are
 	// accumulated per worker and summed in shard order.
+	//copydetect:hotpath
 	d.passFn = func(w int) {
 		p := d.Params
 		thetaCp, thetaInd := p.ThetaCp(), p.ThetaInd()
@@ -597,6 +602,7 @@ func (d *Incremental) buildClosures() {
 	// the best available score estimates. The output slice is indexed by
 	// pair slot, so the strided parallel fill yields the same ordering as
 	// a sequential walk for every worker count.
+	//copydetect:hotpath
 	d.emitFn = func(w int) {
 		p := d.Params
 		pairs := d.emitPairs
@@ -715,6 +721,8 @@ func (d *Incremental) incrementalRound(ds *dataset.Dataset, st *bayes.State) *Re
 // lists. Both paths visit the same co-occurrences in the same (item-major)
 // order and accumulate identically, so their results are bit-equal
 // (TestExactPairBitsMatchesMerge).
+//
+//copydetect:hotpath
 func (d *Incremental) exactPair(ds *dataset.Dataset, st *bayes.State, s1, s2 dataset.SourceID, stats *Stats) (cTo, cFrom float64) {
 	if str := d.cache.str; str != nil && str.EntryBits != nil {
 		return exactPairBits(d.Params, str, ds, st, s1, s2, stats)

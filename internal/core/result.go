@@ -7,6 +7,8 @@
 // dataset plus the current statistical state (value probabilities and
 // source accuracies) and emit, per pair of sources, the accumulated
 // directional evidence and a binary copying decision.
+//
+//copydetect:deterministic
 package core
 
 import (

@@ -283,6 +283,8 @@ func makePairTab(ds *dataset.Dataset, p bayes.Params, opts Options, m mode,
 // independence probability, one likelihood-ratio multiply per direction
 // (accum.go), and — for bounded pairs — the Cmin/Cmax checks, which are
 // the only place a logarithm is taken.
+//
+//copydetect:hotpath
 func scanShard(ds *dataset.Dataset, st *bayes.State, p bayes.Params, m mode,
 	v *index.View, pm *index.PairMap, tab *pairTab, nSeen []int32, w, workers int) Stats {
 

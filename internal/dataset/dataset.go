@@ -7,6 +7,8 @@
 // providing at most one value per data item. Schema mapping and entity
 // resolution are assumed done, so items and values are already aligned
 // across sources; values are interned per item as dense integer ids.
+//
+//copydetect:deterministic
 package dataset
 
 import (
@@ -344,6 +346,7 @@ func (b *Builder) Build() *Dataset {
 	for d, vs := range b.valueNames {
 		ds.ValueNames[d] = append([]string(nil), vs...)
 	}
+	//copydetect:orderinvariant each key lands in per-source/per-item buckets that are sorted immediately below, erasing visit order
 	for key, v := range b.obs {
 		s := SourceID(key >> 32)
 		d := ItemID(uint32(key))
@@ -363,6 +366,7 @@ func (b *Builder) Build() *Dataset {
 		for d := range ds.Truth {
 			ds.Truth[d] = NoValue
 		}
+		//copydetect:orderinvariant keys are distinct item ids writing distinct slots of a dense slice
 		for d, v := range b.truth {
 			ds.Truth[d] = v
 		}

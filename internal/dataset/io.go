@@ -109,6 +109,7 @@ func ReadJSON(r io.Reader) (*Dataset, error) {
 	for _, o := range jd.Observations {
 		b.Add(o.Source, o.Item, o.Value)
 	}
+	//copydetect:orderinvariant truth entries land in the builder's keyed map; Build sorts before emitting
 	for d, v := range jd.Truth {
 		b.SetTruth(d, v)
 	}

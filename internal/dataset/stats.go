@@ -30,6 +30,7 @@ func Summarize(ds *Dataset) Stats {
 		for _, sv := range ds.ByItem[d] {
 			counts[sv.Value]++
 		}
+		//copydetect:orderinvariant commutative sum over the counts; order never observed
 		for _, c := range counts {
 			if c >= 2 {
 				st.SharedValues++

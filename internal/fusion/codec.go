@@ -86,8 +86,10 @@ func encodeFloatRows(w *binio.Writer, rows [][]float64) {
 }
 
 func decodeFloatRows(r *binio.Reader) [][]float64 {
+	// Int returns 0 once the sticky error is set, so n == 0 covers the
+	// error case too; the caller owns the final Err check.
 	n := r.Int(maxOutcomeDim)
-	if r.Err() != nil || n == 0 {
+	if n == 0 {
 		return nil
 	}
 	rows := make([][]float64, n)
@@ -106,7 +108,7 @@ func encodeFloats(w *binio.Writer, fs []float64) {
 
 func decodeFloats(r *binio.Reader) []float64 {
 	n := r.Int(maxOutcomeDim)
-	if r.Err() != nil || n == 0 {
+	if n == 0 { // zero on sticky error too; the caller checks Err
 		return nil
 	}
 	fs := make([]float64, n)

@@ -7,6 +7,8 @@
 // probabilities. Combined with any copy detector from internal/core it
 // forms the full loop the paper accelerates: copy detection → truth
 // finding → source accuracy, until convergence.
+//
+//copydetect:deterministic
 package fusion
 
 import (

@@ -6,6 +6,8 @@
 // a copying conclusion (Proposition 3.1). Entries are processed in
 // decreasing score order by default; the alternative orderings of the
 // paper's Figure 3 are provided for comparison.
+//
+//copydetect:deterministic
 package index
 
 import (

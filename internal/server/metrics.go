@@ -121,6 +121,8 @@ func (r *Registry) snapshotSets() []*Managed {
 // observeWAL is the wal.Options.ObserveAppend hook for every dataset
 // store of this registry. It must stay cheap: it runs under the WAL
 // lock on the acknowledgement path.
+//
+//copydetect:hotpath
 func (r *Registry) observeWAL(total, fsync time.Duration) {
 	in := r.inst.Load()
 	if in == nil {

@@ -177,6 +177,17 @@ func writeFileDurable(path string, data []byte) error {
 // ---------------------------------------------------------------------
 // WAL record payloads
 
+// mustRecord finalizes an in-memory record encode. A bytes.Buffer never
+// fails to write, so the only latchable error is a string over binio's
+// blob limit — far above the request size limits — and silently logging
+// a truncated record would corrupt the WAL; crash instead.
+func mustRecord(w *binio.Writer, buf *bytes.Buffer) []byte {
+	if err := w.Err(); err != nil {
+		panic("store: encode wal record: " + err.Error())
+	}
+	return buf.Bytes()
+}
+
 // encodeAppendRecord frames one acknowledged append batch. The version
 // rides along so recovery can tell which records a snapshot already
 // covers even when rounds and appends interleave in the log.
@@ -196,7 +207,7 @@ func encodeAppendRecord(version uint64, obs, truth []dataset.Record) []byte {
 		w.String(tr.Item)
 		w.String(tr.Value)
 	}
-	return buf.Bytes()
+	return mustRecord(w, &buf)
 }
 
 // encodePublishRecord frames a round-completed marker.
@@ -206,7 +217,7 @@ func encodePublishRecord(round int, version uint64) []byte {
 	w.Byte(walRecPublish)
 	w.Int(round)
 	w.Uvarint(version)
-	return buf.Bytes()
+	return mustRecord(w, &buf)
 }
 
 // encodeImportRecord frames an applied anti-entropy import: the whole
@@ -219,7 +230,7 @@ func encodeImportRecord(version uint64, rounds int, ds *dataset.Dataset) []byte 
 	w.Uvarint(version)
 	w.Int(rounds)
 	dataset.EncodeDataset(w, ds)
-	return buf.Bytes()
+	return mustRecord(w, &buf)
 }
 
 // encodeExport serializes one dataset's full appended state for

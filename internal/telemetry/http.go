@@ -85,7 +85,7 @@ func (m *HTTPMetrics) Wrap(next http.Handler) http.Handler {
 		if code == 0 {
 			code = http.StatusOK
 		}
-		m.requests.With(route, req.Method, itoa(code)).Inc()
+		m.requests.With(route, NormalizeMethod(req.Method), itoa(code)).Inc()
 		m.latency.With(route, statusClass(code)).Observe(elapsed.Seconds())
 		if m.logger != nil {
 			m.logger.Printf("%s %s %d %dB %s trace=%s",
@@ -148,6 +148,19 @@ func NormalizeRoute(path string) string {
 	switch op {
 	case "observations", "copies", "truth", "stats", "quiesce", "export", "import":
 		return "/v1/datasets/{name}/" + op
+	}
+	return "other"
+}
+
+// NormalizeMethod bounds the method label: the methods the services
+// actually route stay distinct, anything else a client invents —
+// methods are arbitrary client-controlled tokens — collapses to
+// "other" instead of minting a new label child per probe string.
+func NormalizeMethod(method string) string {
+	switch method {
+	case http.MethodGet, http.MethodPost, http.MethodPut,
+		http.MethodDelete, http.MethodHead, http.MethodOptions:
+		return method
 	}
 	return "other"
 }

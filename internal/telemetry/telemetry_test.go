@@ -251,6 +251,26 @@ func TestNormalizeRoute(t *testing.T) {
 	}
 }
 
+func TestNormalizeMethod(t *testing.T) {
+	cases := map[string]string{
+		"GET":       "GET",
+		"POST":      "POST",
+		"PUT":       "PUT",
+		"DELETE":    "DELETE",
+		"HEAD":      "HEAD",
+		"OPTIONS":   "OPTIONS",
+		"PATCH":     "other", // not routed by either daemon
+		"get":       "other", // methods are case-sensitive tokens
+		"EVILPROBE": "other",
+		"":          "other",
+	}
+	for method, want := range cases {
+		if got := NormalizeMethod(method); got != want {
+			t.Errorf("NormalizeMethod(%q) = %q, want %q", method, got, want)
+		}
+	}
+}
+
 func TestStatusClassAndItoa(t *testing.T) {
 	for code, want := range map[int]string{102: "1xx", 200: "2xx", 301: "3xx", 404: "4xx", 500: "5xx"} {
 		if got := statusClass(code); got != want {

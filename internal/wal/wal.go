@@ -17,6 +17,8 @@
 // checksum-mismatching record anywhere else — in the middle of a
 // segment, or in any segment that has a successor — cannot be produced
 // by a crash and makes Open fail instead of silently dropping records.
+//
+//copydetect:deterministic
 package wal
 
 import (
